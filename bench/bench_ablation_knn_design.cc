@@ -1,0 +1,106 @@
+// Design-choice ablation: the interpolation-stage kNN machinery.
+//
+// DESIGN.md calls out three choices in VoLUT's hierarchical kNN: (1) the
+// two-layer octree with own-cell ("self-contained leaf") approximate search
+// vs exact spill search, (2) Eq. 2 neighbor-relationship reuse vs fresh
+// per-midpoint queries, (3) dilation. This bench quantifies each choice's
+// speed and quality impact on one frame, isolating what the combined
+// Figure-11 numbers blend together.
+#include <cstdio>
+
+#include "bench/common.h"
+#include <functional>
+
+#include "src/metrics/chamfer.h"
+#include "src/platform/timer.h"
+#include "src/spatial/octree.h"
+
+namespace {
+
+using namespace volut;
+
+double time_ms(const std::function<void()>& fn, int reps = 3) {
+  fn();  // warm-up
+  Timer t;
+  for (int r = 0; r < reps; ++r) fn();
+  return t.elapsed_ms() / reps;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  const SyntheticVideo video(VideoSpec::dress(scale));
+  Rng rng(9);
+  const PointCloud gt = video.frame(0);
+  const PointCloud low = gt.random_downsample(0.5f, rng);
+
+  bench::print_header("Ablation: kNN design choices (input " +
+                      std::to_string(low.size()) + " pts, x2)");
+
+  // (1) exact vs approximate batch kNN on the octree.
+  TwoLayerOctree octree(low.positions());
+  const double t_exact =
+      time_ms([&] { octree.batch_knn(8, nullptr, /*exact=*/true); });
+  const double t_approx =
+      time_ms([&] { octree.batch_knn(8, nullptr, /*exact=*/false); });
+  // Approximation error: fraction of neighbor sets that differ.
+  const auto exact = octree.batch_knn(8, nullptr, true);
+  const auto approx = octree.batch_knn(8, nullptr, false);
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    for (std::size_t j = 0; j < exact[i].size(); ++j) {
+      if (approx[i][j].index != exact[i][j].index) {
+        ++mismatched;
+        break;
+      }
+    }
+  }
+  std::printf("own-cell approximate search: %.2f ms vs exact %.2f ms "
+              "(%.2fx), %.1f%% neighbor sets differ\n",
+              t_approx, t_exact, t_exact / t_approx,
+              100.0 * double(mismatched) / double(exact.size()));
+
+  // (2) neighbor reuse vs fresh queries (stage-3 cost).
+  InterpolationConfig reuse;
+  reuse.dilation = 2;
+  reuse.reuse_neighbors = true;
+  InterpolationConfig fresh = reuse;
+  fresh.reuse_neighbors = false;
+  double reuse_stage3 = 0, fresh_stage3 = 0;
+  for (int r = 0; r < 3; ++r) {
+    reuse_stage3 += interpolate(low, 2.0, reuse).timing.colorize_ms / 3;
+    fresh_stage3 += interpolate(low, 2.0, fresh).timing.colorize_ms / 3;
+  }
+  std::printf("Eq.2 neighbor reuse: stage-3 %.2f ms vs fresh queries %.2f ms "
+              "(%.2fx)\n",
+              reuse_stage3, fresh_stage3, fresh_stage3 / reuse_stage3);
+
+  // Quality impact of reuse (approximate neighbor lists feed refinement).
+  const double cd_reuse =
+      chamfer_distance(interpolate(low, 2.0, reuse).cloud, gt);
+  const double cd_fresh =
+      chamfer_distance(interpolate(low, 2.0, fresh).cloud, gt);
+  std::printf("Chamfer with reuse %.5f vs fresh %.5f (ratio %.3f — reuse is "
+              "quality-neutral)\n",
+              cd_reuse, cd_fresh, cd_reuse / cd_fresh);
+
+  // (3) dilation factor sweep (Figure 5's receptive-field knob).
+  std::printf("\ndilation sweep (k=4):\n%-10s %14s %14s\n", "d",
+              "Chamfer", "stage-1 ms");
+  for (int d : {1, 2, 3, 4}) {
+    InterpolationConfig cfg;
+    cfg.k = 4;
+    cfg.dilation = d;
+    const auto result = interpolate(low, 2.0, cfg);
+    std::printf("%-10d %14.5f %14.2f\n", d,
+                chamfer_distance(result.cloud, gt), result.timing.knn_ms);
+  }
+  std::printf(
+      "\nExpected: approximation + reuse are multi-x cheaper at near-zero\n"
+      "quality cost. Raw-interpolation Chamfer is nearly flat in d on dense\n"
+      "uniform content; dilation's payoff is distribution uniformity, which\n"
+      "materializes after LUT refinement (Figures 7-10) and on content with\n"
+      "uneven density.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Figure 11: interpolation FPS, vanilla kNN vs VoLUT's optimized
+// (octree + dilated + neighbor-reuse) interpolation, across upsampling
+// ratios 2x-8x, under two device profiles:
+//   * "Orange Pi": 4-way cell-parallelism, measured latency scaled by the
+//     mobile-core factor (DESIGN.md substitution #5);
+//   * "Desktop (3080Ti-class)": wide cell-parallelism (the CUDA client's
+//     cell-parallel kNN/interpolation kernels).
+//
+// HONESTY NOTE: when this host exposes a single hardware thread (typical CI
+// container), thread-level speedup cannot be *measured*; in that case the
+// bench reports the measured single-thread stage breakdown and an Amdahl
+// projection over the measured stage times (kNN + neighbor-reuse stages are
+// cell-parallel; midpoint generation is serial), at 70% parallel efficiency.
+// On a multicore host the pool measurement is used directly.
+//
+// Paper shape: 3.7-3.9x on Orange Pi, 7.5-8.1x on the GPU.
+#include <cstdio>
+#include <thread>
+
+#include "bench/common.h"
+#include "src/platform/device_profile.h"
+#include "src/platform/timer.h"
+
+namespace {
+
+using namespace volut;
+
+InterpolationTiming measure(const PointCloud& input, double ratio,
+                            const InterpolationConfig& cfg, ThreadPool* pool,
+                            int reps) {
+  interpolate(input, ratio, cfg, pool);  // warm-up
+  InterpolationTiming acc;
+  for (int r = 0; r < reps; ++r) {
+    const InterpolationTiming t = interpolate(input, ratio, cfg, pool).timing;
+    acc.knn_ms += t.knn_ms / reps;
+    acc.interpolate_ms += t.interpolate_ms / reps;
+    acc.colorize_ms += t.colorize_ms / reps;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  const SyntheticVideo video(VideoSpec::dress(scale));
+  Rng rng(4);
+  const PointCloud frame = video.frame(0);
+  const PointCloud low = frame.random_downsample(0.5f, rng);
+
+  InterpolationConfig vanilla;
+  vanilla.k = 4;
+  vanilla.dilation = 1;
+  vanilla.use_octree = false;
+  vanilla.reuse_neighbors = false;
+
+  InterpolationConfig ours;
+  ours.k = 4;
+  ours.dilation = 2;
+  ours.use_octree = true;
+  ours.reuse_neighbors = true;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool project = hw <= 1;
+
+  struct Platform {
+    const char* name;
+    std::size_t parallel_ways;  // cell-parallelism available on the target
+    double latency_scale;
+  };
+  const Platform platforms[] = {
+      {"Orange Pi (4-way parallel, 3x core factor)", 4, 3.0},
+      {"Desktop 3080Ti-class (16-way parallel)", 16, 1.0},
+  };
+
+  bench::print_header("Figure 11: interpolation FPS (input " +
+                      std::to_string(low.size()) + " points)");
+  if (project) {
+    std::printf(
+        "[host has 1 hardware thread: parallel stages use a measured-stage\n"
+        " Amdahl projection at 70%% efficiency; serial numbers are measured]\n");
+  }
+
+  for (const Platform& platform : platforms) {
+    ThreadPool pool(project ? 1 : platform.parallel_ways);
+    std::printf("\n%s\n", platform.name);
+    std::printf("%-8s %14s %14s %10s\n", "ratio", "vanilla FPS", "ours FPS",
+                "speedup");
+    bench::print_rule();
+    for (double ratio : {2.0, 4.0, 6.0, 8.0}) {
+      // Vanilla: fully serial (GradPU's reference path).
+      const InterpolationTiming tv = measure(low, ratio, vanilla, nullptr, 2);
+      const double vanilla_ms = tv.total_ms() * platform.latency_scale;
+
+      const InterpolationTiming to = measure(
+          low, ratio, ours, project ? nullptr : &pool, 3);
+      double ours_ms;
+      if (project) {
+        const double s = double(platform.parallel_ways) * 0.7;
+        ours_ms = (to.knn_ms / s + to.interpolate_ms + to.colorize_ms / s) *
+                  platform.latency_scale;
+      } else {
+        ours_ms = to.total_ms() * platform.latency_scale;
+      }
+      std::printf("%-8.0fx %13.1f %14.1f %9.1fx\n", ratio,
+                  1000.0 / vanilla_ms, 1000.0 / ours_ms,
+                  vanilla_ms / ours_ms);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): ours 3.7-3.9x faster on Orange Pi,\n"
+      "7.5-8.1x on the GPU-class platform; optimized FPS stays usable\n"
+      "even at 8x because cost is bound by input-point kNN.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 18: VoLUT SR FPS on the Orange-Pi-class profile across
+// upsampling ratios 2x-8x.
+//
+// Paper shape: FPS stays relatively stable as the ratio grows, because the
+// bottleneck (kNN over *input* points) does not scale with the output size.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/platform/device_profile.h"
+#include "src/platform/timer.h"
+
+int main() {
+  using namespace volut;
+  const double scale = bench::bench_scale();
+  auto assets = bench::train_assets(scale);
+
+  const SyntheticVideo video(VideoSpec::dress(scale));
+  Rng rng(7);
+  const PointCloud low = video.frame(0).random_downsample(0.35f, rng);
+
+  const DeviceProfile mobile = DeviceProfile::orange_pi();
+  ThreadPool pool(mobile.threads);
+  InterpolationConfig interp;
+  interp.dilation = 2;
+  SrPipeline pipeline(assets.lut, interp, &pool);
+
+  bench::print_header("Figure 18: SR FPS on Orange Pi profile (input " +
+                      std::to_string(low.size()) + " pts)");
+  std::printf("%-8s %12s %12s %14s\n", "ratio", "ms/frame", "FPS",
+              "output pts");
+  bench::print_rule();
+
+  double fps_min = 1e18, fps_max = 0.0;
+  for (double ratio : {2.0, 4.0, 6.0, 8.0}) {
+    pipeline.upsample(low, ratio);  // warm-up
+    Timer timer;
+    const int reps = 3;
+    std::size_t out_points = 0;
+    for (int r = 0; r < reps; ++r) {
+      out_points = pipeline.upsample(low, ratio).output_points;
+    }
+    const double ms = timer.elapsed_ms() / reps * mobile.latency_scale;
+    const double fps = 1000.0 / ms;
+    fps_min = std::min(fps_min, fps);
+    fps_max = std::max(fps_max, fps);
+    std::printf("%-8.0fx %12.2f %12.1f %14zu\n", ratio, ms, fps, out_points);
+  }
+  bench::print_rule();
+  std::printf("FPS spread across ratios: %.1f - %.1f (max/min = %.2fx)\n",
+              fps_min, fps_max, fps_max / fps_min);
+  std::printf(
+      "\nExpected shape (paper): upsampling speed stays relatively stable\n"
+      "as the ratio increases (kNN on input points dominates).\n");
+  return 0;
+}

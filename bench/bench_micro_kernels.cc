@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underlying the
+// paper's headline numbers: per-point LUT lookup vs per-point neural
+// inference (the §4.2 claim of >99.9% refinement-latency reduction), spatial
+// queries, position encoding and float16 conversion.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/half.h"
+#include "src/core/rng.h"
+#include "src/nn/mlp.h"
+#include "src/spatial/kdtree.h"
+#include "src/spatial/octree.h"
+#include "src/sr/lut_builder.h"
+#include "src/sr/position_encoding.h"
+#include "src/sr/refine_net.h"
+
+namespace volut {
+namespace {
+
+std::vector<Vec3f> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3f> pts(n);
+  for (Vec3f& p : pts) {
+    p = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  return pts;
+}
+
+void BM_HalfRoundTrip(benchmark::State& state) {
+  float v = 0.12345f;
+  for (auto _ : state) {
+    v = half_to_float(float_to_half(v)) + 1e-7f;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_HalfRoundTrip);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  const auto pts = random_points(std::size_t(state.range(0)), 1);
+  KdTree tree(pts);
+  Rng rng(2);
+  for (auto _ : state) {
+    const Vec3f q{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    benchmark::DoNotOptimize(tree.knn(q, 4));
+  }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_OctreeKnn(benchmark::State& state) {
+  const auto pts = random_points(std::size_t(state.range(0)), 1);
+  TwoLayerOctree octree(pts);
+  Rng rng(2);
+  for (auto _ : state) {
+    const Vec3f q{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    benchmark::DoNotOptimize(octree.knn(q, 4));
+  }
+}
+BENCHMARK(BM_OctreeKnn)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PositionEncoding(benchmark::State& state) {
+  const auto pts = random_points(64, 3);
+  const std::vector<Neighbor> nbrs = {{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        encode_neighborhood(pts[0], nbrs, pts, 4, 128));
+  }
+}
+BENCHMARK(BM_PositionEncoding);
+
+struct LutFixtureState {
+  RefinementLut lut{LutSpec{4, 32}};
+  EncodedNeighborhood enc;
+  LutFixtureState() {
+    const auto pts = random_points(8, 4);
+    const std::vector<Neighbor> nbrs = {{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+    enc = encode_neighborhood(pts[0], nbrs, pts, 4, 32);
+  }
+};
+
+void BM_LutRefineLookup(benchmark::State& state) {
+  static LutFixtureState fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.lut.lookup(fixture.enc));
+  }
+}
+BENCHMARK(BM_LutRefineLookup);
+
+void BM_NeuralRefineInference(benchmark::State& state) {
+  RefineNetConfig cfg;
+  cfg.receptive_field = 4;
+  cfg.hidden = {32, 32};
+  const RefineNet net(cfg);
+  const std::vector<float> coords = {0.0f, 0.2f, -0.4f, 0.7f};
+  for (auto _ : state) {
+    for (int a = 0; a < 3; ++a) {
+      benchmark::DoNotOptimize(net.predict(a, coords));
+    }
+  }
+}
+BENCHMARK(BM_NeuralRefineInference);
+
+void BM_MergeAndPrune(benchmark::State& state) {
+  const auto pts = random_points(1000, 5);
+  KdTree tree(pts);
+  const auto a = tree.knn(pts[10], 8);
+  const auto b = tree.knn(pts[20], 8);
+  const Vec3f mid = midpoint(pts[10], pts[20]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_and_prune(a, b, mid, pts, 4));
+  }
+}
+BENCHMARK(BM_MergeAndPrune);
+
+}  // namespace
+}  // namespace volut
+
+BENCHMARK_MAIN();

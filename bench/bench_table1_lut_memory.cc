@@ -1,0 +1,57 @@
+// Reproduces Table 1: memory analysis for different LUT configurations with
+// float16 (2B) storage. Sizes are computed from the axis-separable layout
+// (3 * b^n entries, DESIGN.md §1) and checked against the paper's values.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/sr/lut.h"
+
+namespace {
+
+const char* human(double bytes, char* buf, std::size_t n) {
+  if (bytes >= 1e9) {
+    std::snprintf(buf, n, "%.2f GB", bytes / 1e9);
+  } else {
+    std::snprintf(buf, n, "%.2f MB", bytes / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace volut;
+  bench::print_header(
+      "Table 1: LUT memory vs receptive field (n) and bins (b)");
+  std::printf("%-8s %-6s %-18s %-12s %-12s %s\n", "RF n", "bins", "entries",
+              "size", "paper", "match");
+  bench::print_rule();
+
+  struct Row {
+    std::size_t n;
+    int b;
+    double paper_bytes;
+  };
+  const Row rows[] = {
+      {3, 128, 12e6},   {3, 64, 1.5e6}, {4, 128, 1.61e9},
+      {4, 64, 100e6},   {5, 128, 201e9}, {5, 64, 6.25e9},
+  };
+  bool all_match = true;
+  for (const Row& row : rows) {
+    const LutSpec spec{row.n, row.b};
+    char a[32], b[32];
+    const double ratio = double(spec.bytes()) / row.paper_bytes;
+    const bool ok = ratio > 0.95 && ratio < 1.05;
+    all_match &= ok;
+    std::printf("%-8zu %-6d %-18" PRIu64 " %-12s %-12s %s\n", row.n, row.b,
+                spec.total_entries(), human(double(spec.bytes()), a, 32),
+                human(row.paper_bytes, b, 32), ok ? "yes" : "NO");
+  }
+  bench::print_rule();
+  std::printf("Deployed configuration (paper): n=4, b=128 -> %.2f GB\n",
+              double(LutSpec{4, 128}.bytes()) / 1e9);
+  std::printf("All rows match paper accounting: %s\n",
+              all_match ? "yes" : "NO");
+  return all_match ? 0 : 1;
+}

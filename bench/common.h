@@ -1,0 +1,76 @@
+// Shared setup for the paper-reproduction benchmarks.
+//
+// Every bench binary reproduces one table or figure of the paper. Workloads
+// default to a scaled-down point count so the whole suite runs in minutes;
+// set VOLUT_BENCH_SCALE (0 < s <= 1, fraction of the paper's 100K
+// points/frame) to raise fidelity, e.g. VOLUT_BENCH_SCALE=1.0 for paper
+// scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/core/rng.h"
+#include "src/data/synthetic_video.h"
+#include "src/sr/lut_builder.h"
+#include "src/sr/pipeline.h"
+#include "src/sr/refine_net.h"
+
+namespace volut::bench {
+
+inline double bench_scale(double fallback = 0.05) {
+  if (const char* env = std::getenv("VOLUT_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return fallback;
+}
+
+struct TrainedAssets {
+  std::unique_ptr<RefineNet> net;
+  std::shared_ptr<RefinementLut> lut;
+};
+
+/// Trains the refinement net on the Long Dress video only (§7.1: "training
+/// it exclusively on the Long Dress video") and distills the LUT. `bins` is
+/// reduced from the paper's 128 by default to keep the suite fast; pass 128
+/// for the deployed configuration.
+inline TrainedAssets train_assets(double scale, int bins = 32,
+                                  std::size_t receptive_field = 4) {
+  TrainedAssets assets;
+  RefineNetConfig cfg;
+  cfg.receptive_field = receptive_field;
+  cfg.hidden = {32, 32};
+  cfg.epochs = 20;
+
+  const SyntheticVideo dress(VideoSpec::dress(scale));
+  Rng rng(1234);
+  InterpolationConfig interp;
+  interp.dilation = 2;
+  TrainingSet data =
+      build_training_set(dress.frame(0), 0.5, interp, cfg, rng, 20'000);
+  for (std::size_t f = 1; f < 4; ++f) {
+    TrainingSet more = build_training_set(dress.frame(f * 5), 0.5, interp,
+                                          cfg, rng, 20'000);
+    merge_training_sets(data, more);
+  }
+  assets.net = std::make_unique<RefineNet>(cfg);
+  assets.net->train(data);
+  assets.lut = std::make_shared<RefinementLut>(
+      distill_lut(*assets.net, LutSpec{receptive_field, bins}));
+  return assets;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace volut::bench

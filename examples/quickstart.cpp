@@ -1,0 +1,71 @@
+// Quickstart: the minimal VoLUT workflow.
+//
+//   1. Generate (or load) a high-resolution point-cloud frame.
+//   2. Downsample it (what the server would transmit).
+//   3. Train the refinement network and distill it into a LUT (offline; in a
+//      deployment you ship the .npy produced by example_lut_builder).
+//   4. Upsample with the two-stage SR pipeline and measure quality.
+//
+// Build & run:  ./example_quickstart
+#include <cstdio>
+#include <memory>
+
+#include "src/core/rng.h"
+#include "src/data/synthetic_video.h"
+#include "src/metrics/chamfer.h"
+#include "src/sr/lut_builder.h"
+#include "src/sr/pipeline.h"
+
+int main() {
+  using namespace volut;
+
+  // 1. A frame of the synthetic "dress" video (~3K points here; pass a
+  //    larger scale for paper-sized 100K-point frames).
+  const SyntheticVideo video(VideoSpec::dress(0.03));
+  const PointCloud ground_truth = video.frame(0);
+  std::printf("ground truth: %zu points\n", ground_truth.size());
+
+  // 2. Random downsampling to 50%% (the §5.2 server-side operation).
+  Rng rng(7);
+  const PointCloud low = ground_truth.random_downsample(0.5f, rng);
+  std::printf("transmitted:  %zu points (50%% density)\n", low.size());
+
+  // 3. Offline: train the refinement net on the content and distill the LUT
+  //    (receptive field n=4; 32 bins here — use 128 for the paper config).
+  RefineNetConfig net_cfg;
+  net_cfg.receptive_field = 4;
+  net_cfg.hidden = {32, 32};
+  net_cfg.epochs = 15;
+  InterpolationConfig interp;
+  interp.dilation = 2;  // the paper's K4d2 configuration
+
+  TrainingSet data =
+      build_training_set(ground_truth, 0.5, interp, net_cfg, rng, 20'000);
+  RefineNet net(net_cfg);
+  const float loss = net.train(data);
+  std::printf("refinement net trained (final MSE %.4f, %zu params)\n", loss,
+              net.parameter_count());
+
+  auto lut = std::make_shared<RefinementLut>(
+      distill_lut(net, LutSpec{net_cfg.receptive_field, 32}));
+  std::printf("LUT distilled: %.2f MB (paper n=4,b=128 would be 1.61 GB)\n",
+              double(lut->spec().bytes()) / 1e6);
+
+  // 4. Client-side SR: interpolate 2x and refine via LUT lookups.
+  SrPipeline pipeline(lut, interp);
+  const SrResult without = pipeline.upsample(low, 2.0, /*refine=*/false);
+  const SrResult with = pipeline.upsample(low, 2.0, /*refine=*/true);
+
+  std::printf("\nupsampled to %zu points in %.2f ms "
+              "(kNN %.2f + interp %.2f + color %.2f + LUT %.2f)\n",
+              with.output_points, with.timing.total_ms(), with.timing.knn_ms,
+              with.timing.interpolate_ms, with.timing.colorize_ms,
+              with.timing.refine_ms);
+  std::printf("Chamfer to ground truth: interpolation only %.5f, "
+              "with LUT refinement %.5f\n",
+              chamfer_distance(without.cloud, ground_truth),
+              chamfer_distance(with.cloud, ground_truth));
+  std::printf("\nDone. See example_lut_builder for LUT persistence and\n"
+              "example_streaming_session for the end-to-end ABR loop.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "src/baselines/vivo.h"
+
+#include <algorithm>
+
+namespace volut {
+
+namespace {
+
+/// Visibility under ViVo's model: inside the predicted frustum AND not
+/// self-occluded. Solid volumetric content hides its far side; we model this
+/// with a half-space test against the content centroid along the view
+/// direction (points deeper than a small margin past the centroid are
+/// considered occluded). This is what gives viewport streaming its ~40-60%
+/// savings even when the whole object fits the frustum.
+bool vivo_visible(const Vec3f& p, const Frustum& frustum,
+                  const Vec3f& centroid, float occlusion_margin) {
+  if (!frustum.contains(p)) return false;
+  const Vec3f view = (centroid - frustum.pose.position).normalized();
+  return (p - centroid).dot(view) <= occlusion_margin;
+}
+
+}  // namespace
+
+VivoChunkPlan vivo_plan_chunk(const PointCloud& reference_frame,
+                              const Pose& decision_pose,
+                              const Pose& playback_pose,
+                              const VivoConfig& config) {
+  VivoChunkPlan plan;
+  if (reference_frame.empty()) return plan;
+
+  Frustum predicted;
+  predicted.pose = decision_pose;
+  predicted.vertical_fov_rad = config.vertical_fov_rad;
+  predicted.aspect = config.aspect;
+
+  Frustum actual = predicted;
+  actual.pose = playback_pose;
+
+  const Vec3f centroid = reference_frame.centroid();
+  const float margin = reference_frame.bounds().diagonal() * 0.1f;
+
+  std::size_t predicted_visible = 0;
+  std::size_t actually_visible = 0;
+  std::size_t both = 0;
+  for (const Vec3f& p : reference_frame.positions()) {
+    const bool in_pred = vivo_visible(p, predicted, centroid, margin);
+    const bool in_actual = vivo_visible(p, actual, centroid, margin);
+    predicted_visible += in_pred;
+    actually_visible += in_actual;
+    both += (in_pred && in_actual);
+  }
+
+  // ViVo fetches the predicted-visible cells plus a safety halo of
+  // surrounding content (its "preemptive" over-fetch).
+  const double pred_frac =
+      double(predicted_visible) / double(reference_frame.size());
+  plan.fetch_fraction = std::min(1.0, pred_frac * 1.15);
+  plan.coverage = actually_visible == 0
+                      ? 1.0
+                      : double(both) / double(actually_visible);
+  return plan;
+}
+
+}  // namespace volut

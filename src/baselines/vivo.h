@@ -1,0 +1,44 @@
+// ViVo baseline (Han et al. 2020): visibility-aware volumetric streaming with
+// preemptive viewport adaptation and no super-resolution.
+//
+// ViVo saves bandwidth by fetching only the content predicted to fall inside
+// the user's near-future viewport, at full density. Its two failure modes —
+// reproduced here — are (1) no density reduction, so data usage stays high
+// relative to SR-based systems, and (2) viewport misprediction under fast
+// head motion, which leaves parts of the true viewport unfetched and
+// degrades quality.
+#pragma once
+
+#include "src/core/point_cloud.h"
+#include "src/data/motion_trace.h"
+#include "src/data/viewport.h"
+
+namespace volut {
+
+struct VivoConfig {
+  float vertical_fov_rad = 1.2f;
+  float aspect = 1.0f;
+  /// How far ahead (seconds) the viewport must be predicted — one chunk of
+  /// lead time in a chunked streaming system.
+  double prediction_lead_s = 1.0;
+};
+
+struct VivoChunkPlan {
+  /// Fraction of the full cloud fetched (predicted-visible portion plus
+  /// ViVo's safety margin).
+  double fetch_fraction = 1.0;
+  /// Fraction of the *actually* visible content that was fetched; directly
+  /// scales perceived quality.
+  double coverage = 1.0;
+};
+
+/// Plans one chunk: predicts the viewport from the pose at fetch-decision
+/// time, measures what the user actually sees at playback time, and reports
+/// fetch volume + coverage. `reference_frame` is a (possibly coarse) sample
+/// of the chunk's content used for visibility measurement.
+VivoChunkPlan vivo_plan_chunk(const PointCloud& reference_frame,
+                              const Pose& decision_pose,
+                              const Pose& playback_pose,
+                              const VivoConfig& config = {});
+
+}  // namespace volut

@@ -1,0 +1,94 @@
+#include "src/baselines/yuzu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/platform/timer.h"
+#include "src/sr/position_encoding.h"
+
+namespace volut {
+
+YuzuSr::YuzuSr(const YuzuConfig& config)
+    : config_(config),
+      mlp_([&config] {
+        Rng rng(config.seed);
+        std::vector<std::size_t> dims;
+        dims.push_back(3 * (config.k + 1));  // raw neighborhood coordinates
+        dims.insert(dims.end(), config.hidden.begin(), config.hidden.end());
+        dims.push_back(3);  // xyz offset
+        return nn::Mlp(dims, rng);
+      }()) {}
+
+const std::vector<double>& YuzuSr::ratio_options() {
+  static const std::vector<double> kOptions = {2.0, 3.0, 4.0, 6.0, 8.0};
+  return kOptions;
+}
+
+double YuzuSr::snap_ratio(double desired) {
+  const auto& opts = ratio_options();
+  double best = opts.front();
+  for (double o : opts) {
+    if (std::abs(o - desired) < std::abs(best - desired)) best = o;
+  }
+  return best;
+}
+
+YuzuResult YuzuSr::upsample(const PointCloud& input, double ratio) const {
+  YuzuResult result;
+  const double snapped = snap_ratio(ratio);
+
+  InterpolationConfig icfg;
+  icfg.k = config_.k;
+  icfg.dilation = 1;
+  icfg.use_octree = false;
+  icfg.reuse_neighbors = false;
+  icfg.seed = config_.seed;
+  Timer timer;
+  InterpolationResult ir = interpolate(input, snapped, icfg);
+  result.interpolate_ms = timer.elapsed_ms();
+
+  // One heavy inference per generated point (batched for throughput, as a
+  // frozen-graph deployment would be).
+  timer.reset();
+  const std::size_t in_dim = 3 * (config_.k + 1);
+  const std::size_t new_begin = ir.original_count;
+  const std::size_t new_count = ir.new_count();
+  constexpr std::size_t kBatch = 512;
+  for (std::size_t begin = 0; begin < new_count; begin += kBatch) {
+    const std::size_t end = std::min(begin + kBatch, new_count);
+    const std::size_t bs = end - begin;
+    nn::Matrix x(bs, in_dim);
+    std::vector<float> radii(bs, 0.0f);
+    for (std::size_t r = 0; r < bs; ++r) {
+      const std::size_t j = begin + r;
+      const Vec3f& center = ir.cloud.position(new_begin + j);
+      const EncodedNeighborhood enc =
+          encode_neighborhood(center, ir.new_neighbors[j], input.positions(),
+                              config_.k + 1, /*bins=*/2);
+      radii[r] = enc.radius;
+      for (std::size_t s = 0; s < config_.k + 1; ++s) {
+        for (int a = 0; a < 3; ++a) {
+          x(r, s * 3 + a) = enc.normalized[a][s];
+        }
+      }
+    }
+    const nn::Matrix y = mlp_.forward(x);
+    for (std::size_t r = 0; r < bs; ++r) {
+      if (radii[r] <= 0.0f) continue;
+      Vec3f& p = ir.cloud.position(new_begin + begin + r);
+      for (int a = 0; a < 3; ++a) {
+        // tanh-squashed offsets keep the untrained stand-in stable.
+        p[a] += config_.step_size * std::tanh(y(r, a)) * radii[r];
+      }
+    }
+  }
+  result.inference_ms = timer.elapsed_ms();
+  result.cloud = std::move(ir.cloud);
+  return result;
+}
+
+std::size_t YuzuSr::model_bytes() const {
+  return mlp_.parameter_count() * sizeof(float);
+}
+
+}  // namespace volut

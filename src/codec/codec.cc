@@ -1,0 +1,138 @@
+#include "src/codec/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace volut {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(std::uint8_t(v & 0xFF));
+  out.push_back(std::uint8_t(v >> 8));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return std::uint16_t(p[0]) | (std::uint16_t(p[1]) << 8);
+}
+
+void append_raw(std::vector<std::uint8_t>& out, const void* p,
+                std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+}  // namespace
+
+std::size_t EncodedChunk::byte_size() const {
+  std::size_t total = sizeof(ChunkHeader);
+  for (const EncodedFrame& f : frames) total += f.byte_size();
+  return total;
+}
+
+EncodedFrame encode_frame(const PointCloud& cloud) {
+  EncodedFrame frame;
+  frame.bounds = cloud.bounds();
+  frame.point_count = static_cast<std::uint32_t>(cloud.size());
+  if (cloud.empty()) return frame;
+
+  const Vec3f lo = frame.bounds.lo;
+  Vec3f ext = frame.bounds.extent();
+  // Avoid division by zero on degenerate axes.
+  for (int a = 0; a < 3; ++a) ext[a] = std::max(ext[a], 1e-12f);
+
+  frame.payload.reserve(cloud.size() * kBytesPerPoint);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec3f& p = cloud.position(i);
+    for (int a = 0; a < 3; ++a) {
+      const float norm = (p[a] - lo[a]) / ext[a];
+      const auto q = std::uint16_t(
+          std::clamp(norm * 65535.0f + 0.5f, 0.0f, 65535.0f));
+      put_u16(frame.payload, q);
+    }
+    const Color& c = cloud.color(i);
+    frame.payload.push_back(c.r);
+    frame.payload.push_back(c.g);
+    frame.payload.push_back(c.b);
+  }
+  return frame;
+}
+
+PointCloud decode_frame(const EncodedFrame& frame) {
+  PointCloud cloud;
+  cloud.reserve(frame.point_count);
+  if (frame.point_count == 0) return cloud;
+  if (frame.payload.size() < frame.point_count * kBytesPerPoint) {
+    throw std::runtime_error("decode_frame: truncated payload");
+  }
+  const Vec3f lo = frame.bounds.lo;
+  Vec3f ext = frame.bounds.extent();
+  for (int a = 0; a < 3; ++a) ext[a] = std::max(ext[a], 1e-12f);
+
+  const std::uint8_t* p = frame.payload.data();
+  for (std::uint32_t i = 0; i < frame.point_count; ++i) {
+    Vec3f pos;
+    for (int a = 0; a < 3; ++a) {
+      pos[a] = lo[a] + (float(get_u16(p)) / 65535.0f) * ext[a];
+      p += 2;
+    }
+    const Color c{p[0], p[1], p[2]};
+    p += 3;
+    cloud.push_back(pos, c);
+  }
+  return cloud;
+}
+
+std::vector<std::uint8_t> serialize_chunk(const EncodedChunk& chunk) {
+  std::vector<std::uint8_t> out;
+  out.reserve(chunk.byte_size() + 64);
+  append_raw(out, &chunk.header, sizeof(ChunkHeader));
+  const auto frame_count = static_cast<std::uint32_t>(chunk.frames.size());
+  append_raw(out, &frame_count, sizeof(frame_count));
+  for (const EncodedFrame& f : chunk.frames) {
+    append_raw(out, &f.bounds.lo, sizeof(Vec3f));
+    append_raw(out, &f.bounds.hi, sizeof(Vec3f));
+    append_raw(out, &f.point_count, sizeof(f.point_count));
+    const auto payload_size = static_cast<std::uint64_t>(f.payload.size());
+    append_raw(out, &payload_size, sizeof(payload_size));
+    out.insert(out.end(), f.payload.begin(), f.payload.end());
+  }
+  return out;
+}
+
+EncodedChunk parse_chunk(const std::vector<std::uint8_t>& bytes) {
+  EncodedChunk chunk;
+  std::size_t off = 0;
+  auto need = [&](std::size_t n) {
+    if (off + n > bytes.size()) {
+      throw std::runtime_error("parse_chunk: truncated stream");
+    }
+  };
+  need(sizeof(ChunkHeader));
+  std::memcpy(&chunk.header, bytes.data() + off, sizeof(ChunkHeader));
+  off += sizeof(ChunkHeader);
+  std::uint32_t frame_count = 0;
+  need(sizeof(frame_count));
+  std::memcpy(&frame_count, bytes.data() + off, sizeof(frame_count));
+  off += sizeof(frame_count);
+  chunk.frames.resize(frame_count);
+  for (EncodedFrame& f : chunk.frames) {
+    need(2 * sizeof(Vec3f) + sizeof(f.point_count) + sizeof(std::uint64_t));
+    std::memcpy(&f.bounds.lo, bytes.data() + off, sizeof(Vec3f));
+    off += sizeof(Vec3f);
+    std::memcpy(&f.bounds.hi, bytes.data() + off, sizeof(Vec3f));
+    off += sizeof(Vec3f);
+    std::memcpy(&f.point_count, bytes.data() + off, sizeof(f.point_count));
+    off += sizeof(f.point_count);
+    std::uint64_t payload_size = 0;
+    std::memcpy(&payload_size, bytes.data() + off, sizeof(payload_size));
+    off += sizeof(payload_size);
+    need(payload_size);
+    f.payload.assign(bytes.begin() + std::int64_t(off),
+                     bytes.begin() + std::int64_t(off + payload_size));
+    off += payload_size;
+  }
+  return chunk;
+}
+
+}  // namespace volut

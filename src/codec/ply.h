@@ -1,0 +1,19 @@
+// ASCII PLY import/export for interoperability with standard point-cloud
+// tooling (CloudCompare, Open3D, PCL).
+#pragma once
+
+#include <string>
+
+#include "src/core/point_cloud.h"
+
+namespace volut {
+
+/// Writes an ASCII PLY with x/y/z float properties and red/green/blue uchar.
+/// Returns false on I/O failure.
+bool save_ply(const std::string& path, const PointCloud& cloud);
+
+/// Loads an ASCII PLY written by save_ply (or any PLY with the same element
+/// layout). Throws std::runtime_error on malformed input.
+PointCloud load_ply(const std::string& path);
+
+}  // namespace volut

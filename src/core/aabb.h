@@ -1,0 +1,57 @@
+// Axis-aligned bounding box.
+#pragma once
+
+#include <limits>
+
+#include "src/core/vec3.h"
+
+namespace volut {
+
+/// Axis-aligned bounding box. Empty until the first `expand`.
+struct AABB {
+  Vec3f lo{std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max()};
+  Vec3f hi{std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest()};
+
+  bool empty() const { return lo.x > hi.x; }
+
+  void expand(const Vec3f& p) {
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+  void expand(const AABB& b) {
+    if (b.empty()) return;
+    lo = min(lo, b.lo);
+    hi = max(hi, b.hi);
+  }
+
+  Vec3f center() const { return (lo + hi) * 0.5f; }
+  Vec3f extent() const { return empty() ? Vec3f{} : hi - lo; }
+  float diagonal() const { return extent().norm(); }
+
+  bool contains(const Vec3f& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  /// Squared distance from `p` to the box (0 if inside). Used for kNN pruning.
+  float distance2(const Vec3f& p) const {
+    float d2 = 0.0f;
+    for (int a = 0; a < 3; ++a) {
+      const float v = p[a];
+      if (v < lo[a]) {
+        const float d = lo[a] - v;
+        d2 += d * d;
+      } else if (v > hi[a]) {
+        const float d = v - hi[a];
+        d2 += d * d;
+      }
+    }
+    return d2;
+  }
+};
+
+}  // namespace volut

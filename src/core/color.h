@@ -1,0 +1,45 @@
+// RGB color attribute attached to every point in a volumetric frame.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace volut {
+
+/// 24-bit RGB color. Point clouds in VoLUT carry one color per point.
+struct Color {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  constexpr Color() = default;
+  constexpr Color(std::uint8_t r_, std::uint8_t g_, std::uint8_t b_)
+      : r(r_), g(g_), b(b_) {}
+
+  constexpr bool operator==(const Color& o) const {
+    return r == o.r && g == o.g && b == o.b;
+  }
+};
+
+/// Clamps a float to the representable [0,255] range and rounds.
+inline std::uint8_t to_channel(float v) {
+  return static_cast<std::uint8_t>(std::clamp(v + 0.5f, 0.0f, 255.0f));
+}
+
+/// Component-wise average of two colors (used when colorizing interpolated
+/// points from their two parents).
+inline Color average(const Color& a, const Color& b) {
+  return Color{static_cast<std::uint8_t>((int(a.r) + int(b.r)) / 2),
+               static_cast<std::uint8_t>((int(a.g) + int(b.g)) / 2),
+               static_cast<std::uint8_t>((int(a.b) + int(b.b)) / 2)};
+}
+
+/// Squared RGB distance; used by color-aware quality metrics.
+inline float color_distance2(const Color& a, const Color& b) {
+  const float dr = float(a.r) - float(b.r);
+  const float dg = float(a.g) - float(b.g);
+  const float db = float(a.b) - float(b.b);
+  return dr * dr + dg * dg + db * db;
+}
+
+}  // namespace volut

@@ -1,0 +1,80 @@
+// IEEE 754 binary16 (half precision) conversion.
+//
+// VoLUT stores LUT refinement offsets as float16 (2 bytes per offset, Eq. 7 of
+// the paper). We implement round-to-nearest-even float32 -> float16 conversion
+// and the exact inverse, with denormal and inf/nan handling, so the on-disk
+// NPY LUT files use genuine IEEE half floats.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace volut {
+
+using half_t = std::uint16_t;
+
+/// Converts a float32 to IEEE binary16 with round-to-nearest-even.
+inline half_t float_to_half(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::uint32_t mant = x & 0x007FFFFFu;
+  const int exp = int((x >> 23) & 0xFF) - 127;
+
+  if (exp == 128) {  // inf or nan
+    return static_cast<half_t>(sign | 0x7C00u | (mant ? 0x0200u : 0u));
+  }
+  if (exp > 15) {  // overflow -> inf
+    return static_cast<half_t>(sign | 0x7C00u);
+  }
+  if (exp >= -14) {  // normal half range
+    std::uint32_t half_mant = mant >> 13;
+    const std::uint32_t rest = mant & 0x1FFFu;
+    // Round to nearest, ties to even.
+    if (rest > 0x1000u || (rest == 0x1000u && (half_mant & 1u))) ++half_mant;
+    std::uint32_t bits =
+        sign | (std::uint32_t(exp + 15) << 10) | (half_mant & 0x3FFu);
+    if (half_mant == 0x400u) bits = sign | (std::uint32_t(exp + 16) << 10);
+    return static_cast<half_t>(bits);
+  }
+  if (exp >= -24) {  // denormal half
+    mant |= 0x00800000u;  // implicit leading 1
+    const int shift = -exp - 14 + 13;
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rest = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<half_t>(sign | half_mant);
+  }
+  return static_cast<half_t>(sign);  // underflow -> signed zero
+}
+
+/// Converts an IEEE binary16 to float32 exactly.
+inline float half_to_float(half_t h) {
+  const std::uint32_t sign = (std::uint32_t(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Denormal: normalize.
+      int e = -1;
+      do {
+        mant <<= 1;
+        ++e;
+      } while ((mant & 0x400u) == 0);
+      bits = sign | (std::uint32_t(127 - 15 - e) << 23) | ((mant & 0x3FFu) << 13);
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace volut

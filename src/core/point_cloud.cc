@@ -1,0 +1,74 @@
+#include "src/core/point_cloud.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace volut {
+
+PointCloud PointCloud::from_positions(std::vector<Vec3f> positions) {
+  PointCloud pc;
+  pc.colors_.assign(positions.size(), Color{});
+  pc.positions_ = std::move(positions);
+  return pc;
+}
+
+PointCloud PointCloud::from_positions_colors(std::vector<Vec3f> positions,
+                                             std::vector<Color> colors) {
+  colors.resize(positions.size());
+  PointCloud pc;
+  pc.positions_ = std::move(positions);
+  pc.colors_ = std::move(colors);
+  return pc;
+}
+
+void PointCloud::append(const PointCloud& other) {
+  positions_.insert(positions_.end(), other.positions_.begin(),
+                    other.positions_.end());
+  colors_.insert(colors_.end(), other.colors_.begin(), other.colors_.end());
+}
+
+AABB PointCloud::bounds() const {
+  AABB box;
+  for (const Vec3f& p : positions_) box.expand(p);
+  return box;
+}
+
+Vec3f PointCloud::centroid() const {
+  if (positions_.empty()) return {};
+  Vec3f sum{};
+  for (const Vec3f& p : positions_) sum += p;
+  return sum / static_cast<float>(positions_.size());
+}
+
+PointCloud PointCloud::subset(std::span<const std::size_t> indices) const {
+  PointCloud out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(positions_[i], colors_[i]);
+  return out;
+}
+
+PointCloud PointCloud::random_downsample(float ratio, Rng& rng) const {
+  const float r = std::clamp(ratio, 0.0f, 1.0f);
+  PointCloud out;
+  out.reserve(static_cast<std::size_t>(r * static_cast<float>(size())) + 1);
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (rng.bernoulli(r)) out.push_back(positions_[i], colors_[i]);
+  }
+  return out;
+}
+
+PointCloud PointCloud::random_downsample_exact(std::size_t target,
+                                               Rng& rng) const {
+  if (target >= size()) return *this;
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  // Partial Fisher-Yates: shuffle only the first `target` slots.
+  for (std::size_t i = 0; i < target; ++i) {
+    const std::size_t j = i + rng.next(size() - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(target);
+  return subset(idx);
+}
+
+}  // namespace volut

@@ -1,0 +1,87 @@
+// PointCloud: the central data structure of VoLUT.
+//
+// A point cloud is a structure-of-arrays of positions and (optional) colors.
+// Volumetric video frames, chunks on the wire, interpolation outputs and SR
+// results are all PointClouds. SoA layout keeps the hot kNN/interpolation
+// loops cache-friendly and mirrors how GPU kernels would consume the data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/core/aabb.h"
+#include "src/core/color.h"
+#include "src/core/rng.h"
+#include "src/core/vec3.h"
+
+namespace volut {
+
+class PointCloud {
+ public:
+  PointCloud() = default;
+
+  /// Creates a cloud of `n` points at the origin with black color.
+  explicit PointCloud(std::size_t n) : positions_(n), colors_(n) {}
+
+  static PointCloud from_positions(std::vector<Vec3f> positions);
+  static PointCloud from_positions_colors(std::vector<Vec3f> positions,
+                                          std::vector<Color> colors);
+
+  std::size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+
+  void reserve(std::size_t n) {
+    positions_.reserve(n);
+    colors_.reserve(n);
+  }
+  void resize(std::size_t n) {
+    positions_.resize(n);
+    colors_.resize(n);
+  }
+  void clear() {
+    positions_.clear();
+    colors_.clear();
+  }
+
+  void push_back(const Vec3f& p, const Color& c = Color{}) {
+    positions_.push_back(p);
+    colors_.push_back(c);
+  }
+
+  /// Appends all points of `other`.
+  void append(const PointCloud& other);
+
+  const Vec3f& position(std::size_t i) const { return positions_[i]; }
+  Vec3f& position(std::size_t i) { return positions_[i]; }
+  const Color& color(std::size_t i) const { return colors_[i]; }
+  Color& color(std::size_t i) { return colors_[i]; }
+
+  std::span<const Vec3f> positions() const { return positions_; }
+  std::span<Vec3f> positions() { return positions_; }
+  std::span<const Color> colors() const { return colors_; }
+  std::span<Color> colors() { return colors_; }
+
+  /// Bounding box over all points (recomputed on each call).
+  AABB bounds() const;
+
+  /// Centroid of all points; zero for an empty cloud.
+  Vec3f centroid() const;
+
+  /// Returns the subset of points at the given indices (positions + colors).
+  PointCloud subset(std::span<const std::size_t> indices) const;
+
+  /// Independent Bernoulli(ratio) selection of points — the paper's random
+  /// downsampling (§5.2). `ratio` is clamped to [0, 1].
+  PointCloud random_downsample(float ratio, Rng& rng) const;
+
+  /// Selects exactly `target` points uniformly at random (without
+  /// replacement). If target >= size() the whole cloud is returned.
+  PointCloud random_downsample_exact(std::size_t target, Rng& rng) const;
+
+ private:
+  std::vector<Vec3f> positions_;
+  std::vector<Color> colors_;
+};
+
+}  // namespace volut

@@ -1,0 +1,57 @@
+// 6DoF pose: position + yaw/pitch/roll orientation.
+//
+// User motion traces (§7.1 "User Traces") are sequences of these poses; the
+// renderer and the ViVo-style visibility baseline both consume them.
+#pragma once
+
+#include <cmath>
+
+#include "src/core/vec3.h"
+
+namespace volut {
+
+/// Right-handed camera pose. Angles in radians; yaw about +Y, pitch about +X,
+/// roll about +Z, applied in yaw-pitch-roll order.
+struct Pose {
+  Vec3f position{};
+  float yaw = 0.0f;
+  float pitch = 0.0f;
+  float roll = 0.0f;
+
+  /// Unit forward vector (-Z in camera space mapped to world).
+  Vec3f forward() const {
+    const float cy = std::cos(yaw), sy = std::sin(yaw);
+    const float cp = std::cos(pitch), sp = std::sin(pitch);
+    return Vec3f{sy * cp, -sp, -cy * cp};
+  }
+
+  Vec3f up() const {
+    // R = Ry(-yaw) * Rx(-pitch) * Rz(roll) applied to +Y (consistent with
+    // forward() = R * -Z).
+    const float cy = std::cos(yaw), sy = std::sin(yaw);
+    const float cp = std::cos(pitch), sp = std::sin(pitch);
+    const float cr = std::cos(roll), sr = std::sin(roll);
+    return Vec3f{sy * sp * cr - cy * sr, cp * cr,
+                 -(sy * sr + cy * sp * cr)};
+  }
+
+  Vec3f right() const { return forward().cross(up()).normalized(); }
+
+  /// Transforms a world-space point into camera space (x right, y up,
+  /// z = depth along the view direction; positive in front of the camera).
+  Vec3f world_to_camera(const Vec3f& p) const {
+    const Vec3f d = p - position;
+    const Vec3f f = forward(), u = up(), r = right();
+    return Vec3f{d.dot(r), d.dot(u), d.dot(f)};
+  }
+};
+
+/// Linear interpolation between poses (angles interpolated directly; motion
+/// traces keep angle deltas small so no wrap handling is needed).
+inline Pose lerp(const Pose& a, const Pose& b, float t) {
+  return Pose{lerp(a.position, b.position, t), a.yaw + (b.yaw - a.yaw) * t,
+              a.pitch + (b.pitch - a.pitch) * t,
+              a.roll + (b.roll - a.roll) * t};
+}
+
+}  // namespace volut

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized stages in VoLUT (random downsampling, dilated-neighborhood
+// subset selection, training-noise injection) take an explicit Rng so results
+// are reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace volut {
+
+/// Thin wrapper over a fixed-algorithm 64-bit generator (splitmix64-seeded
+/// xoshiro-like std::mt19937_64). Explicit seeding everywhere; no global state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : gen_(seed) {}
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(gen_);
+  }
+
+  /// Uniform float in [0, 1).
+  float uniform() {
+    return std::uniform_real_distribution<float>(0.0f, 1.0f)(gen_);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(gen_);
+  }
+
+  /// Normal with mean 0 and the given standard deviation.
+  float gaussian(float sigma) {
+    return std::normal_distribution<float>(0.0f, sigma)(gen_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(float p) { return uniform() < p; }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace volut

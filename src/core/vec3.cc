@@ -1,0 +1,11 @@
+#include "src/core/vec3.h"
+
+#include <ostream>
+
+namespace volut {
+
+std::ostream& operator<<(std::ostream& os, const Vec3f& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace volut

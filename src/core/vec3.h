@@ -1,0 +1,97 @@
+// Basic 3-vector math used throughout VoLUT.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+
+namespace volut {
+
+/// A 3D vector of floats. Plain aggregate: no invariant beyond its fields.
+struct Vec3f {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3f() = default;
+  constexpr Vec3f(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr float& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr float operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3f operator+(const Vec3f& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3f operator-(const Vec3f& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3f operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3f operator-() const { return {-x, -y, -z}; }
+
+  Vec3f& operator+=(const Vec3f& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3f& operator-=(const Vec3f& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3f& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3f& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  constexpr float dot(const Vec3f& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3f cross(const Vec3f& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr float norm2() const { return dot(*this); }
+  float norm() const { return std::sqrt(norm2()); }
+
+  /// Returns a unit-length copy; the zero vector normalizes to zero.
+  Vec3f normalized() const {
+    const float n = norm();
+    return n > 0.0f ? (*this) / n : Vec3f{};
+  }
+};
+
+constexpr Vec3f operator*(float s, const Vec3f& v) { return v * s; }
+
+inline float distance2(const Vec3f& a, const Vec3f& b) {
+  return (a - b).norm2();
+}
+inline float distance(const Vec3f& a, const Vec3f& b) {
+  return (a - b).norm();
+}
+inline Vec3f midpoint(const Vec3f& a, const Vec3f& b) {
+  return (a + b) * 0.5f;
+}
+inline Vec3f lerp(const Vec3f& a, const Vec3f& b, float t) {
+  return a + (b - a) * t;
+}
+
+inline Vec3f min(const Vec3f& a, const Vec3f& b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+inline Vec3f max(const Vec3f& a, const Vec3f& b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3f& v);
+
+}  // namespace volut

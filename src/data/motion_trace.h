@@ -1,0 +1,56 @@
+// 6DoF user motion traces.
+//
+// §7.1 "User Traces": the paper replays multi-user 6DoF motion recorded
+// during playback. We synthesize comparable traces: a viewer orbiting the
+// content at human walking speed with smooth head rotation and small
+// positional jitter, deterministic per (user id, seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/pose.h"
+
+namespace volut {
+
+struct MotionTraceSpec {
+  std::size_t frames = 300;
+  double fps = 30.0;
+  /// Mean viewing distance from the content center (meters).
+  float orbit_radius = 2.0f;
+  /// Viewer eye height (meters).
+  float eye_height = 1.5f;
+  /// Full orbits over the whole trace.
+  float orbit_turns = 0.5f;
+  /// Std-dev of positional jitter (meters) and angular jitter (radians).
+  float position_jitter = 0.02f;
+  float angle_jitter = 0.01f;
+  std::uint64_t seed = 99;
+};
+
+class MotionTrace {
+ public:
+  MotionTrace() = default;
+  explicit MotionTrace(std::vector<Pose> poses, double fps = 30.0)
+      : poses_(std::move(poses)), fps_(fps) {}
+
+  /// Generates the trace for `user` (different users get different phases,
+  /// radii and speeds).
+  static MotionTrace generate(const MotionTraceSpec& spec, int user = 0);
+
+  std::size_t size() const { return poses_.size(); }
+  bool empty() const { return poses_.empty(); }
+  double fps() const { return fps_; }
+
+  const Pose& pose(std::size_t frame) const {
+    return poses_[frame % poses_.size()];
+  }
+  const std::vector<Pose>& poses() const { return poses_; }
+
+ private:
+  std::vector<Pose> poses_;
+  double fps_ = 30.0;
+};
+
+}  // namespace volut

@@ -1,0 +1,76 @@
+#include "src/metrics/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace volut {
+
+bool Image::save_ppm(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P6\n" << width_ << " " << height_ << "\n255\n";
+  for (const Color& c : pixels_) {
+    os.put(static_cast<char>(c.r));
+    os.put(static_cast<char>(c.g));
+    os.put(static_cast<char>(c.b));
+  }
+  return bool(os);
+}
+
+Image render_point_cloud(const PointCloud& cloud, const Camera& camera,
+                         const RenderOptions& options) {
+  Image img(camera.width, camera.height, options.background);
+  std::vector<float> zbuf(img.size(), std::numeric_limits<float>::infinity());
+
+  const float fy = 0.5f * static_cast<float>(camera.height) /
+                   std::tan(camera.vertical_fov_rad * 0.5f);
+  const float cx = 0.5f * static_cast<float>(camera.width);
+  const float cy = 0.5f * static_cast<float>(camera.height);
+
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec3f pc = camera.pose.world_to_camera(cloud.position(i));
+    if (pc.z <= camera.near_plane) continue;  // behind the camera
+    const float inv_z = 1.0f / pc.z;
+    const int px = static_cast<int>(cx + pc.x * fy * inv_z);
+    const int py = static_cast<int>(cy - pc.y * fy * inv_z);
+    const int r = options.splat_radius;
+    for (int dy = -r; dy <= r; ++dy) {
+      const int y = py + dy;
+      if (y < 0 || y >= camera.height) continue;
+      for (int dx = -r; dx <= r; ++dx) {
+        const int x = px + dx;
+        if (x < 0 || x >= camera.width) continue;
+        const std::size_t idx = static_cast<std::size_t>(y * camera.width + x);
+        if (pc.z < zbuf[idx]) {
+          zbuf[idx] = pc.z;
+          img.at(x, y) = cloud.color(i);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+double image_psnr(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height() || a.size() == 0) {
+    return 0.0;
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mse += double(color_distance2(a.pixels()[i], b.pixels()[i]));
+  }
+  mse /= double(a.size() * 3);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double render_psnr(const PointCloud& pred, const PointCloud& gt,
+                   const Camera& camera, const RenderOptions& options) {
+  const Image ip = render_point_cloud(pred, camera, options);
+  const Image ig = render_point_cloud(gt, camera, options);
+  return image_psnr(ip, ig);
+}
+
+}  // namespace volut

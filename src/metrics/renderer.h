@@ -1,0 +1,75 @@
+// Point-splat z-buffer renderer and render-based PSNR.
+//
+// The paper evaluates visual quality by rendering viewports from recorded
+// 6DoF traces for both SR output {I_SR} and ground truth {I_gt}, then
+// computing PSNR between image pairs (§7.2). This module provides that
+// substrate: a small perspective camera, a z-buffered point splatter with a
+// configurable splat radius, and image PSNR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/point_cloud.h"
+#include "src/core/pose.h"
+
+namespace volut {
+
+/// 8-bit RGB raster image.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Color fill = Color{})
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width * height), fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size() const { return pixels_.size(); }
+
+  Color& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y * width_ + x)];
+  }
+  const Color& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y * width_ + x)];
+  }
+
+  const std::vector<Color>& pixels() const { return pixels_; }
+
+  /// Writes a binary PPM (P6). Returns false on I/O failure.
+  bool save_ppm(const std::string& path) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Color> pixels_;
+};
+
+struct Camera {
+  Pose pose;
+  float vertical_fov_rad = 1.0f;  // ~57 degrees
+  int width = 256;
+  int height = 256;
+  float near_plane = 0.01f;
+};
+
+struct RenderOptions {
+  /// Half-size in pixels of the square splat drawn per point.
+  int splat_radius = 1;
+  Color background{0, 0, 0};
+};
+
+/// Renders `cloud` from `camera` with z-buffered square splats.
+Image render_point_cloud(const PointCloud& cloud, const Camera& camera,
+                         const RenderOptions& options = {});
+
+/// PSNR (dB) between two same-sized images over all RGB channels.
+/// Identical images return +inf.
+double image_psnr(const Image& a, const Image& b);
+
+/// Renders both clouds from `camera` and returns the PSNR of `pred` against
+/// `gt` — the paper's per-viewport quality measure.
+double render_psnr(const PointCloud& pred, const PointCloud& gt,
+                   const Camera& camera, const RenderOptions& options = {});
+
+}  // namespace volut

@@ -1,0 +1,26 @@
+#include "src/metrics/stats.h"
+
+namespace volut {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * double(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - double(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double harmonic_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double denom = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    denom += 1.0 / v;
+  }
+  return double(values.size()) / denom;
+}
+
+}  // namespace volut

@@ -1,0 +1,44 @@
+// Summary statistics helpers used by benches and the streaming evaluator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace volut {
+
+/// Online accumulator for mean / min / max / stddev.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / double(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation; input copied and sorted.
+double percentile(std::vector<double> values, double p);
+
+/// Harmonic mean; the throughput predictor of MPC-based ABR (§5.1).
+double harmonic_mean(const std::vector<double>& values);
+
+}  // namespace volut

@@ -1,0 +1,107 @@
+#include "src/net/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/core/rng.h"
+
+namespace volut {
+
+BandwidthTrace::BandwidthTrace(std::vector<double> samples_mbps,
+                               double dt_seconds, std::string name)
+    : samples_(std::move(samples_mbps)), dt_(dt_seconds),
+      name_(std::move(name)) {}
+
+BandwidthTrace BandwidthTrace::stable(double mbps, double duration_s) {
+  const std::size_t n = std::max<std::size_t>(1, std::size_t(duration_s));
+  return BandwidthTrace(std::vector<double>(n, mbps), 1.0,
+                        "stable-" + std::to_string(int(mbps)) + "mbps");
+}
+
+BandwidthTrace BandwidthTrace::lte(double mean_mbps, double std_mbps,
+                                   double duration_s, std::uint64_t seed) {
+  // Ornstein-Uhlenbeck around a slowly drifting mean; quantized to 0.5 s
+  // samples like typical LTE capture logs.
+  const double dt = 0.5;
+  const std::size_t n = std::max<std::size_t>(2, std::size_t(duration_s / dt));
+  Rng rng(seed);
+  std::vector<double> samples(n);
+  const double theta = 0.25;  // mean reversion per sample
+  double x = mean_mbps;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Slow sinusoidal drift models cell-load cycles.
+    const double drift =
+        mean_mbps * (1.0 + 0.25 * std::sin(2.0 * M_PI * double(i) / 120.0));
+    x += theta * (drift - x) +
+         std_mbps * std::sqrt(2.0 * theta) * rng.gaussian(1.0f);
+    samples[i] = std::max(1.0, x);  // LTE rarely drops to true zero
+  }
+  // Rescale to hit the requested mean/std exactly.
+  const double m =
+      std::accumulate(samples.begin(), samples.end(), 0.0) / double(n);
+  double var = 0.0;
+  for (double s : samples) var += (s - m) * (s - m);
+  const double sd = std::sqrt(var / double(n));
+  for (double& s : samples) {
+    s = std::max(0.5, mean_mbps + (s - m) * (sd > 0 ? std_mbps / sd : 0.0));
+  }
+  return BandwidthTrace(std::move(samples), dt,
+                        "lte-" + std::to_string(int(mean_mbps)) + "mbps");
+}
+
+std::vector<BandwidthTrace> BandwidthTrace::paper_suite(std::uint64_t seed) {
+  return {
+      stable(50.0),  stable(75.0),  stable(100.0),
+      lte(32.5, 13.5, 600.0, seed + 1),   // low-bandwidth LTE (§7.1)
+      lte(80.0, 20.0, 600.0, seed + 2),   // mid LTE
+      lte(176.5, 26.8, 600.0, seed + 3),  // high LTE
+  };
+}
+
+double BandwidthTrace::bandwidth_at(double t) const {
+  if (samples_.empty()) return 0.0;
+  const double wrapped = std::fmod(std::max(0.0, t), duration());
+  const std::size_t idx =
+      std::min(samples_.size() - 1, std::size_t(wrapped / dt_));
+  return samples_[idx];
+}
+
+double BandwidthTrace::transfer_time(double bytes, double t0) const {
+  if (bytes <= 0.0) return 0.0;
+  if (samples_.empty()) return std::numeric_limits<double>::infinity();
+  double remaining_bits = bytes * 8.0;
+  double t = std::max(0.0, t0);
+  // Walk sample boundaries, draining bits at the piecewise-constant rate.
+  for (int guard = 0; guard < 10'000'000; ++guard) {
+    const double rate_bps = bandwidth_at(t) * 1e6;
+    const double boundary = (std::floor(t / dt_) + 1.0) * dt_;
+    const double window = boundary - t;
+    if (rate_bps > 0.0) {
+      const double drained = rate_bps * window;
+      if (drained >= remaining_bits) {
+        return (t + remaining_bits / rate_bps) - t0;
+      }
+      remaining_bits -= drained;
+    }
+    t = boundary;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double BandwidthTrace::mean_mbps() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         double(samples_.size());
+}
+
+double BandwidthTrace::std_mbps() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean_mbps();
+  double var = 0.0;
+  for (double s : samples_) var += (s - m) * (s - m);
+  return std::sqrt(var / double(samples_.size()));
+}
+
+}  // namespace volut

@@ -1,0 +1,68 @@
+#include "src/nn/matrix.h"
+
+namespace volut::nn {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = a(i, k);
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + k * b.cols();
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.data() + k * a.cols();
+    const float* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.data() + j * b.cols();
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void add_row_broadcast(Matrix& m, const std::vector<float>& row) {
+  assert(row.size() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* r = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) r[j] += row[j];
+  }
+}
+
+std::vector<float> column_sum(const Matrix& m) {
+  std::vector<float> out(m.cols(), 0.0f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* r = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += r[j];
+  }
+  return out;
+}
+
+}  // namespace volut::nn

@@ -1,0 +1,62 @@
+// Dense row-major float matrix — the tensor type of VoLUT's mini-NN library.
+//
+// The paper trains its refinement network in PyTorch offline; per DESIGN.md
+// substitution #3 we train the (small) network with this from-scratch library
+// instead. Only what MLP training needs: matmul, transpose-matmul variants,
+// row broadcast, elementwise ops.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace volut::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& raw() { return data_; }
+  const std::vector<float>& raw() const { return data_; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. A is (m x k), B is (k x n).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. A is (k x m), B is (k x n) -> C is (m x n).
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. A is (m x k), B is (n x k) -> C is (m x n).
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// Adds row vector `row` (1 x n) to every row of `m` in place.
+void add_row_broadcast(Matrix& m, const std::vector<float>& row);
+
+/// Column-wise sum of `m`, returning a vector of length cols.
+std::vector<float> column_sum(const Matrix& m);
+
+}  // namespace volut::nn

@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// The CUDA client in the paper parallelizes kNN search, interpolation and
+// colorization across GPU threads; our CPU substrate uses this pool with the
+// same decomposition (one task per octree cell / per index range). Device
+// profiles (device_profile.h) cap the worker count to model mobile-class
+// hardware.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace volut {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads (>=1; 0 means hardware
+  /// concurrency).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Splits [0, n) into roughly equal chunks and runs
+  /// `body(begin, end)` on the pool, blocking until all chunks complete.
+  /// Runs inline when n is small or the pool has a single worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_grain = 256);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace volut

@@ -1,0 +1,30 @@
+// Wall-clock timing helpers used by the runtime benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace volut {
+
+/// Monotonic stopwatch. `elapsed_ms()` can be read repeatedly.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace volut

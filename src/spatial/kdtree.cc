@@ -1,0 +1,129 @@
+#include "src/spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace volut {
+
+void KdTree::build(std::span<const Vec3f> positions) {
+  points_ = positions;
+  nodes_.clear();
+  index_.resize(positions.size());
+  std::iota(index_.begin(), index_.end(), 0u);
+  if (!index_.empty()) {
+    nodes_.reserve(2 * index_.size() / kLeafSize + 2);
+    root_ = build_node(0, static_cast<std::uint32_t>(index_.size()), 0);
+  }
+}
+
+std::uint32_t KdTree::build_node(std::uint32_t begin, std::uint32_t end,
+                                 int depth) {
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    nodes_[id].axis = -1;
+    nodes_[id].begin = begin;
+    nodes_[id].end = end;
+    return id;
+  }
+  // Pick the axis with the largest spread over this range.
+  Vec3f lo{std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max()};
+  Vec3f hi = -lo;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    lo = min(lo, points_[index_[i]]);
+    hi = max(hi, points_[index_[i]]);
+  }
+  const Vec3f spread = hi - lo;
+  int axis = 0;
+  if (spread.y > spread[axis]) axis = 1;
+  if (spread.z > spread[axis]) axis = 2;
+  if (spread[axis] == 0.0f) axis = depth % 3;  // degenerate: all coincident
+
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(index_.begin() + begin, index_.begin() + mid,
+                   index_.begin() + end,
+                   [this, axis](std::uint32_t a, std::uint32_t b) {
+                     return points_[a][axis] < points_[b][axis];
+                   });
+  nodes_[id].axis = axis;
+  nodes_[id].split = points_[index_[mid]][axis];
+  const std::uint32_t left = build_node(begin, mid, depth + 1);
+  const std::uint32_t right = build_node(mid, end, depth + 1);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void KdTree::search(std::uint32_t node_id, const Vec3f& query,
+                    NeighborHeap& heap, std::uint32_t index_offset,
+                    std::uint32_t exclude) const {
+  const Node& node = nodes_[node_id];
+  if (node.axis < 0) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      const std::uint32_t pi = index_[i];
+      const std::uint32_t reported = pi + index_offset;
+      if (reported == exclude) continue;
+      heap.push(reported, distance2(query, points_[pi]));
+    }
+    return;
+  }
+  const float delta = query[node.axis] - node.split;
+  const std::uint32_t near = delta < 0.0f ? node.left : node.right;
+  const std::uint32_t far = delta < 0.0f ? node.right : node.left;
+  search(near, query, heap, index_offset, exclude);
+  if (delta * delta < heap.worst_dist2()) {
+    search(far, query, heap, index_offset, exclude);
+  }
+}
+
+std::vector<Neighbor> KdTree::knn(const Vec3f& query, std::size_t k) const {
+  if (empty() || k == 0) return {};
+  NeighborHeap heap(std::min(k, size()));
+  knn_into(query, heap);
+  return heap.take_sorted();
+}
+
+void KdTree::knn_into(const Vec3f& query, NeighborHeap& heap,
+                      std::uint32_t index_offset,
+                      std::uint32_t exclude) const {
+  if (empty()) return;
+  search(root_, query, heap, index_offset, exclude);
+}
+
+Neighbor KdTree::nearest(const Vec3f& query) const {
+  NeighborHeap heap(1);
+  search(root_, query, heap, 0, std::numeric_limits<std::uint32_t>::max());
+  return heap.take_sorted().front();
+}
+
+void KdTree::search_radius(std::uint32_t node_id, const Vec3f& query, float r2,
+                           std::vector<Neighbor>& out) const {
+  const Node& node = nodes_[node_id];
+  if (node.axis < 0) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      const std::uint32_t pi = index_[i];
+      const float d2 = distance2(query, points_[pi]);
+      if (d2 <= r2) out.push_back({pi, d2});
+    }
+    return;
+  }
+  const float delta = query[node.axis] - node.split;
+  const std::uint32_t near = delta < 0.0f ? node.left : node.right;
+  const std::uint32_t far = delta < 0.0f ? node.right : node.left;
+  search_radius(near, query, r2, out);
+  if (delta * delta <= r2) search_radius(far, query, r2, out);
+}
+
+std::vector<Neighbor> KdTree::radius(const Vec3f& query, float radius) const {
+  std::vector<Neighbor> out;
+  if (!empty() && radius >= 0.0f) {
+    search_radius(root_, query, radius * radius, out);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+}  // namespace volut

@@ -1,0 +1,75 @@
+// kd-tree over point positions: exact kNN and radius queries.
+//
+// This is the reference spatial index (the "vanilla kNN" path in the paper's
+// interpolation baseline) and is also used by the Chamfer-distance metric and
+// colorization. Median-split construction over an index array, iterative-ish
+// recursive search with bounding-plane pruning.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/core/vec3.h"
+#include "src/spatial/knn.h"
+
+namespace volut {
+
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Builds the tree over `positions`. The span must outlive the tree.
+  explicit KdTree(std::span<const Vec3f> positions) { build(positions); }
+
+  void build(std::span<const Vec3f> positions);
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return index_.size(); }
+
+  /// k nearest neighbors of `query`, sorted by increasing distance.
+  /// Returns fewer than k when the cloud is smaller than k.
+  std::vector<Neighbor> knn(const Vec3f& query, std::size_t k) const;
+
+  /// Allocation-free variant: pushes neighbors into the caller's heap, with
+  /// `index_offset` added to every reported index and `exclude` (post-offset)
+  /// skipped. Lets composite indexes (the two-layer octree) share one heap
+  /// across several trees so the worst-distance bound prunes globally.
+  void knn_into(const Vec3f& query, NeighborHeap& heap,
+                std::uint32_t index_offset = 0,
+                std::uint32_t exclude =
+                    std::numeric_limits<std::uint32_t>::max()) const;
+
+  /// Index + squared distance of the single nearest neighbor.
+  /// Precondition: tree is non-empty.
+  Neighbor nearest(const Vec3f& query) const;
+
+  /// All points within `radius` of `query`, sorted by increasing distance.
+  std::vector<Neighbor> radius(const Vec3f& query, float radius) const;
+
+ private:
+  struct Node {
+    float split = 0.0f;        // split coordinate value
+    std::int32_t axis = -1;    // -1 marks a leaf
+    std::uint32_t left = 0;    // child node ids (internal nodes)
+    std::uint32_t right = 0;
+    std::uint32_t begin = 0;   // leaf range into index_
+    std::uint32_t end = 0;
+  };
+
+  std::uint32_t build_node(std::uint32_t begin, std::uint32_t end, int depth);
+  void search(std::uint32_t node_id, const Vec3f& query, NeighborHeap& heap,
+              std::uint32_t index_offset, std::uint32_t exclude) const;
+  void search_radius(std::uint32_t node_id, const Vec3f& query, float r2,
+                     std::vector<Neighbor>& out) const;
+
+  static constexpr std::uint32_t kLeafSize = 16;
+
+  std::span<const Vec3f> points_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> index_;
+  std::uint32_t root_ = 0;
+};
+
+}  // namespace volut

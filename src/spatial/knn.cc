@@ -1,0 +1,47 @@
+#include "src/spatial/knn.h"
+
+#include <array>
+
+namespace volut {
+
+std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
+                                      std::span<const Neighbor> b,
+                                      const Vec3f& query,
+                                      std::span<const Vec3f> positions,
+                                      std::size_t k) {
+  // Candidate lists are tiny (<= 2*(k+1) entries on the hot path); a fixed
+  // stack buffer with insertion sort avoids any heap allocation per call —
+  // this runs once per interpolated point.
+  constexpr std::size_t kMaxCand = 64;
+  std::array<Neighbor, kMaxCand> best;
+  std::array<std::size_t, kMaxCand> seen;
+  std::size_t best_n = 0;
+  std::size_t seen_n = 0;
+  const std::size_t cap = std::min(k, kMaxCand);
+
+  auto consider = [&](std::size_t index) {
+    for (std::size_t s = 0; s < seen_n; ++s) {
+      if (seen[s] == index) return;  // deduplicate shared candidates
+    }
+    if (seen_n < kMaxCand) seen[seen_n++] = index;
+    const Neighbor cand{index, distance2(query, positions[index])};
+    // Ordering (distance, then index) matches Neighbor::operator< so ties —
+    // e.g. the two parents of a midpoint, exactly equidistant — resolve the
+    // same way as an exact kNN query.
+    if (best_n == cap && !(cand < best[best_n - 1])) return;
+    std::size_t pos = best_n < cap ? best_n : cap - 1;
+    if (best_n < cap) ++best_n;
+    while (pos > 0 && cand < best[pos - 1]) {
+      best[pos] = best[pos - 1];
+      --pos;
+    }
+    best[pos] = cand;
+  };
+
+  for (const Neighbor& n : a) consider(n.index);
+  for (const Neighbor& n : b) consider(n.index);
+
+  return std::vector<Neighbor>(best.begin(), best.begin() + best_n);
+}
+
+}  // namespace volut

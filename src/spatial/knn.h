@@ -1,0 +1,83 @@
+// Common kNN result types and the MergeAndPrune neighbor-reuse primitive.
+//
+// VoLUT (Eq. 2) observes that for an interpolated point p' generated between
+// points p and q,
+//     N_k(p') ~= MergeAndPrune(N_k(p), N_k(q)),
+// i.e. the k nearest neighbors of the midpoint can be recovered from the
+// already-computed neighbor lists of its parents without a fresh tree search.
+// merge_and_prune implements exactly that: union the candidate lists,
+// re-measure distances to p', and keep the best k.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/core/vec3.h"
+
+namespace volut {
+
+/// One neighbor: index into the source cloud plus squared distance to the
+/// query point.
+struct Neighbor {
+  std::size_t index = 0;
+  float dist2 = 0.0f;
+
+  bool operator<(const Neighbor& o) const {
+    return dist2 < o.dist2 || (dist2 == o.dist2 && index < o.index);
+  }
+};
+
+/// Bounded max-heap of the k best (smallest-distance) neighbors seen so far.
+/// Used by both the kd-tree and octree searches.
+class NeighborHeap {
+ public:
+  explicit NeighborHeap(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  std::size_t capacity() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Largest accepted distance so far; +inf until the heap is full.
+  float worst_dist2() const {
+    return full() ? heap_.front().dist2
+                  : std::numeric_limits<float>::infinity();
+  }
+
+  void push(std::size_t index, float dist2) {
+    if (!full()) {
+      heap_.push_back({index, dist2});
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    } else if (dist2 < heap_.front().dist2) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      heap_.back() = {index, dist2};
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    }
+  }
+
+  /// Extracts neighbors sorted by increasing distance. The heap is consumed.
+  std::vector<Neighbor> take_sorted() {
+    std::sort(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  static bool cmp(const Neighbor& a, const Neighbor& b) {
+    return a.dist2 < b.dist2;  // max-heap on distance
+  }
+
+  std::size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+/// Implements Eq. 2: merges two candidate neighbor lists, recomputes distances
+/// to `query` against `positions`, deduplicates indices and returns the `k`
+/// closest, sorted by increasing distance.
+std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
+                                      std::span<const Neighbor> b,
+                                      const Vec3f& query,
+                                      std::span<const Vec3f> positions,
+                                      std::size_t k);
+
+}  // namespace volut

@@ -1,0 +1,205 @@
+#include "src/spatial/octree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace volut {
+
+namespace {
+constexpr std::uint32_t kNoExcludeFlat =
+    std::numeric_limits<std::uint32_t>::max();
+}
+
+void TwoLayerOctree::build(std::span<const Vec3f> positions,
+                           ThreadPool* pool) {
+  size_ = positions.size();
+  flat_points_.clear();
+  flat_to_global_.clear();
+  for (auto& cell : cells_) {
+    cell.begin = cell.end = 0;
+    cell.tree = KdTree();
+  }
+  bounds_ = AABB{};
+  for (const Vec3f& p : positions) bounds_.expand(p);
+  if (positions.empty()) return;
+  // Guard against degenerate (flat) extents so cell_of stays well-defined.
+  Vec3f ext = bounds_.extent();
+  const float min_ext = std::max(1e-6f, bounds_.diagonal() * 1e-6f);
+  ext.x = std::max(ext.x, min_ext);
+  ext.y = std::max(ext.y, min_ext);
+  ext.z = std::max(ext.z, min_ext);
+  cell_extent_ = ext / static_cast<float>(kCellsPerAxis);
+
+  // Counting sort of points into contiguous per-cell ranges (the "leaf
+  // nodes store a subset of the points" layout): one flat array, each cell
+  // owning [begin, end).
+  std::vector<int> cell_id(positions.size());
+  std::array<std::uint32_t, kNumCells> counts{};
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    cell_id[i] = cell_of(positions[i]);
+    ++counts[static_cast<std::size_t>(cell_id[i])];
+  }
+  std::uint32_t offset = 0;
+  for (int c = 0; c < kNumCells; ++c) {
+    cells_[static_cast<std::size_t>(c)].begin = offset;
+    offset += counts[static_cast<std::size_t>(c)];
+    cells_[static_cast<std::size_t>(c)].end = offset;
+  }
+  flat_points_.resize(positions.size());
+  flat_to_global_.resize(positions.size());
+  std::array<std::uint32_t, kNumCells> cursor{};
+  for (int c = 0; c < kNumCells; ++c) {
+    cursor[static_cast<std::size_t>(c)] =
+        cells_[static_cast<std::size_t>(c)].begin;
+  }
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto c = static_cast<std::size_t>(cell_id[i]);
+    flat_points_[cursor[c]] = positions[i];
+    flat_to_global_[cursor[c]] = static_cast<std::uint32_t>(i);
+    ++cursor[c];
+  }
+  auto build_cells = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      Cell& cell = cells_[c];
+      if (cell.end > cell.begin) {
+        cell.tree.build(std::span<const Vec3f>(
+            flat_points_.data() + cell.begin, cell.end - cell.begin));
+      }
+    }
+  };
+  if (pool != nullptr && pool->worker_count() > 1) {
+    pool->parallel_for(
+        kNumCells, [&](std::size_t b, std::size_t e) { build_cells(b, e); },
+        /*min_grain=*/1);
+  } else {
+    build_cells(0, kNumCells);
+  }
+}
+
+int TwoLayerOctree::cell_of(const Vec3f& p) const {
+  int idx[3];
+  for (int a = 0; a < 3; ++a) {
+    const float rel = (p[a] - bounds_.lo[a]) / cell_extent_[a];
+    idx[a] = std::clamp(static_cast<int>(rel), 0, kCellsPerAxis - 1);
+  }
+  return (idx[0] * kCellsPerAxis + idx[1]) * kCellsPerAxis + idx[2];
+}
+
+AABB TwoLayerOctree::cell_bounds(int cx, int cy, int cz) const {
+  AABB box;
+  box.lo = {bounds_.lo.x + cell_extent_.x * static_cast<float>(cx),
+            bounds_.lo.y + cell_extent_.y * static_cast<float>(cy),
+            bounds_.lo.z + cell_extent_.z * static_cast<float>(cz)};
+  box.hi = box.lo + cell_extent_;
+  return box;
+}
+
+void TwoLayerOctree::knn_into(const Vec3f& query, NeighborHeap& heap,
+                              std::uint32_t exclude_flat) const {
+  // Fast path (the property the paper builds the two-layer octree around):
+  // most queries resolve entirely within their own cell. Search it first; if
+  // the current worst candidate is closer than every wall of the cell, no
+  // other cell can contain a better neighbor and we are done.
+  const int own = cell_of(query);
+  const Cell& own_cell = cells_[static_cast<std::size_t>(own)];
+  own_cell.tree.knn_into(query, heap, own_cell.begin, exclude_flat);
+  if (heap.full()) {
+    const int cx = own / (kCellsPerAxis * kCellsPerAxis);
+    const int cy = (own / kCellsPerAxis) % kCellsPerAxis;
+    const int cz = own % kCellsPerAxis;
+    const AABB box = cell_bounds(cx, cy, cz);
+    float wall2 = std::numeric_limits<float>::max();
+    for (int a = 0; a < 3; ++a) {
+      const float lo = query[a] - box.lo[a];
+      const float hi = box.hi[a] - query[a];
+      wall2 = std::min({wall2, lo * lo, hi * hi});
+    }
+    if (heap.worst_dist2() <= wall2) return;
+  }
+
+  // Slow path: order the remaining cells by distance from the query to the
+  // cell box; search in that order (sharing the heap so the worst-distance
+  // bound prunes across cells) and stop once the next cell cannot beat the
+  // current worst neighbor.
+  struct CellDist {
+    float d2;
+    int cell;
+    bool operator<(const CellDist& o) const { return d2 < o.d2; }
+  };
+  std::array<CellDist, kNumCells> order;
+  int n = 0;
+  for (int cx = 0; cx < kCellsPerAxis; ++cx) {
+    for (int cy = 0; cy < kCellsPerAxis; ++cy) {
+      for (int cz = 0; cz < kCellsPerAxis; ++cz) {
+        const int cell = (cx * kCellsPerAxis + cy) * kCellsPerAxis + cz;
+        if (cell == own) continue;  // already searched in the fast path
+        const Cell& c = cells_[static_cast<std::size_t>(cell)];
+        if (c.end == c.begin) continue;
+        order[static_cast<std::size_t>(n++)] = {
+            cell_bounds(cx, cy, cz).distance2(query), cell};
+      }
+    }
+  }
+  std::sort(order.begin(), order.begin() + n);
+  for (int i = 0; i < n; ++i) {
+    if (heap.full() &&
+        order[static_cast<std::size_t>(i)].d2 >= heap.worst_dist2()) {
+      break;
+    }
+    const Cell& cell =
+        cells_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)].cell)];
+    cell.tree.knn_into(query, heap, cell.begin, exclude_flat);
+  }
+}
+
+std::vector<Neighbor> TwoLayerOctree::knn(const Vec3f& query,
+                                          std::size_t k) const {
+  if (empty() || k == 0) return {};
+  NeighborHeap heap(std::min(k, size()));
+  knn_into(query, heap, kNoExcludeFlat);
+  auto result = heap.take_sorted();
+  for (Neighbor& n : result) n.index = flat_to_global_[n.index];
+  return result;
+}
+
+std::vector<std::vector<Neighbor>> TwoLayerOctree::batch_knn(
+    std::size_t k, ThreadPool* pool, bool exact) const {
+  std::vector<std::vector<Neighbor>> result(size());
+  if (empty() || k == 0) return result;
+  const std::size_t kk = std::min(k, size() - 1);
+  auto run_cell_range = [&](std::size_t cell_begin, std::size_t cell_end) {
+    for (std::size_t c = cell_begin; c < cell_end; ++c) {
+      const Cell& cell = cells_[c];
+      for (std::uint32_t fi = cell.begin; fi < cell.end; ++fi) {
+        NeighborHeap heap(kk);
+        if (exact) {
+          knn_into(flat_points_[fi], heap, fi);
+        } else {
+          // Own-cell search only; spill to the full search just for the
+          // rare under-populated cells.
+          cell.tree.knn_into(flat_points_[fi], heap, cell.begin, fi);
+          if (!heap.full()) {
+            NeighborHeap full(kk);
+            knn_into(flat_points_[fi], full, fi);
+            heap = std::move(full);
+          }
+        }
+        auto sorted = heap.take_sorted();
+        for (Neighbor& n : sorted) n.index = flat_to_global_[n.index];
+        result[flat_to_global_[fi]] = std::move(sorted);
+      }
+    }
+  };
+  if (pool != nullptr && pool->worker_count() > 1) {
+    pool->parallel_for(
+        kNumCells,
+        [&](std::size_t b, std::size_t e) { run_cell_range(b, e); },
+        /*min_grain=*/1);
+  } else {
+    run_cell_range(0, kNumCells);
+  }
+  return result;
+}
+
+}  // namespace volut

@@ -1,0 +1,65 @@
+#include "src/sr/gradpu.h"
+
+#include "src/platform/timer.h"
+#include "src/spatial/kdtree.h"
+#include "src/sr/position_encoding.h"
+
+namespace volut {
+
+GradPuResult gradpu_upsample(const PointCloud& input, double ratio,
+                             const RefineNet& net,
+                             const GradPuConfig& config) {
+  GradPuResult result;
+  const std::size_t n = net.config().receptive_field;
+
+  // Stage 1: vanilla kNN midpoint interpolation — GradPU does not dilate.
+  InterpolationConfig icfg;
+  icfg.k = n;
+  icfg.dilation = 1;
+  icfg.use_octree = false;
+  icfg.reuse_neighbors = false;
+  icfg.seed = config.seed;
+  Timer timer;
+  InterpolationResult ir = interpolate(input, ratio, icfg);
+  result.interpolate_ms = timer.elapsed_ms();
+
+  // Stage 2: iterative neural refinement. Every iteration re-queries
+  // neighborhoods (positions moved) and runs one NN inference per point and
+  // axis — the computational burden that motivates the LUT.
+  timer.reset();
+  const std::size_t new_begin = ir.original_count;
+  const std::size_t new_count = ir.new_count();
+  KdTree source_tree(input.positions());
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Batch the encodings per axis for one inference pass.
+    std::vector<float> coords[3];
+    for (int a = 0; a < 3; ++a) coords[a].reserve(new_count * n);
+    std::vector<float> radii(new_count, 0.0f);
+    for (std::size_t j = 0; j < new_count; ++j) {
+      const Vec3f& p = ir.cloud.position(new_begin + j);
+      const auto nbrs = source_tree.knn(p, n - 1);
+      const EncodedNeighborhood enc =
+          encode_neighborhood(p, nbrs, input.positions(), n, /*bins=*/2);
+      radii[j] = enc.radius;
+      for (int a = 0; a < 3; ++a) {
+        for (std::size_t s = 0; s < n; ++s) {
+          coords[a].push_back(enc.normalized[a][s]);
+        }
+      }
+    }
+    for (int a = 0; a < 3; ++a) {
+      const std::vector<float> preds =
+          net.predict_batch(a, coords[a], new_count);
+      for (std::size_t j = 0; j < new_count; ++j) {
+        if (radii[j] <= 0.0f) continue;
+        ir.cloud.position(new_begin + j)[a] +=
+            config.step_size * preds[j] * radii[j];
+      }
+    }
+  }
+  result.refine_ms = timer.elapsed_ms();
+  result.cloud = std::move(ir.cloud);
+  return result;
+}
+
+}  // namespace volut

@@ -1,0 +1,43 @@
+// GradPU baseline (He et al. 2023) — the reference model of the paper.
+//
+// GradPU performs midpoint interpolation and then refines point positions by
+// *iterative* optimization against a learned distance function. We reproduce
+// that structure: vanilla kNN midpoint interpolation (dilation 1) followed by
+// T gradient-like refinement iterations, each of which re-encodes every new
+// point's neighborhood and takes a step along the refinement network's
+// predicted offset. This is the quality upper bound the LUT is distilled
+// from, and the runtime lower bound the paper's Figure 17 compares against
+// (46400x slower than LUT lookup).
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/point_cloud.h"
+#include "src/sr/interpolation.h"
+#include "src/sr/refine_net.h"
+
+namespace volut {
+
+struct GradPuConfig {
+  /// Refinement iterations (gradient steps). GradPU uses an iterative inner
+  /// loop; each iteration costs a full NN inference pass over all new points.
+  std::size_t iterations = 10;
+  /// Step size applied to each predicted offset.
+  float step_size = 0.4f;
+  std::uint64_t seed = 42;
+};
+
+struct GradPuResult {
+  PointCloud cloud;
+  double interpolate_ms = 0.0;
+  double refine_ms = 0.0;
+  double total_ms() const { return interpolate_ms + refine_ms; }
+};
+
+/// Full GradPU upsampling: naive midpoint interpolation + iterative neural
+/// refinement with `net`.
+GradPuResult gradpu_upsample(const PointCloud& input, double ratio,
+                             const RefineNet& net,
+                             const GradPuConfig& config = {});
+
+}  // namespace volut

@@ -1,0 +1,170 @@
+#include "src/sr/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/platform/timer.h"
+#include "src/spatial/kdtree.h"
+#include "src/spatial/octree.h"
+
+namespace volut {
+
+namespace {
+
+/// Vanilla kNN path: one kd-tree query per source point, no parallel cell
+/// decomposition. This is the baseline whose cost Figure 11 compares against.
+std::vector<std::vector<Neighbor>> knn_all_kdtree(const PointCloud& input,
+                                                  std::size_t k) {
+  KdTree tree(input.positions());
+  std::vector<std::vector<Neighbor>> result(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    // Query k+1 and drop self.
+    auto nbrs = tree.knn(input.position(i), k + 1);
+    std::erase_if(nbrs, [i](const Neighbor& n) { return n.index == i; });
+    if (nbrs.size() > k) nbrs.resize(k);
+    result[i] = std::move(nbrs);
+  }
+  return result;
+}
+
+}  // namespace
+
+InterpolationResult interpolate(const PointCloud& input, double ratio,
+                                const InterpolationConfig& config,
+                                ThreadPool* pool) {
+  InterpolationResult result;
+  result.cloud = input;
+  result.original_count = input.size();
+  if (input.size() < 2 || ratio <= 1.0) return result;
+
+  const std::size_t k = std::max<std::size_t>(2, config.k);
+  const std::size_t dk =
+      std::min<std::size_t>(input.size() - 1,
+                            k * std::size_t(std::max(1, config.dilation)));
+
+  // --- Stage 1: neighbor search over the source cloud -----------------------
+  Timer timer;
+  std::vector<std::vector<Neighbor>> dilated;
+  if (config.use_octree) {
+    // Approximate own-cell search (see TwoLayerOctree::batch_knn): the
+    // dilated neighborhood only feeds random partner selection, so exact
+    // k-th-neighbor boundaries are not needed.
+    TwoLayerOctree octree(input.positions(), pool);
+    dilated = octree.batch_knn(dk, pool, /*exact=*/false);
+  } else {
+    dilated = knn_all_kdtree(input, dk);
+  }
+  result.timing.knn_ms = timer.elapsed_ms();
+
+  // --- Stage 2: midpoint generation from dilated neighborhoods --------------
+  timer.reset();
+  const std::size_t target_new = static_cast<std::size_t>(
+      std::llround(double(input.size()) * (ratio - 1.0)));
+
+  // Partner order per source point: a deterministic shuffle of its dilated
+  // neighborhood. Each pass over the sources consumes the next partner,
+  // so repeated visits produce distinct midpoints (supports ratios > 2).
+  Rng rng(config.seed);
+  std::vector<std::vector<std::uint32_t>> partner_order(input.size());
+  std::vector<std::size_t> next_partner(input.size(), 0);
+
+  result.cloud.reserve(input.size() + target_new);
+  result.parents.reserve(target_new);
+  result.new_neighbors.reserve(target_new);
+
+  std::vector<std::array<std::uint32_t, 2>>& parents = result.parents;
+  std::size_t produced = 0;
+  std::size_t src = 0;
+  std::size_t stall = 0;  // sources visited without producing a point
+  while (produced < target_new && stall < input.size()) {
+    const std::size_t i = src;
+    src = (src + 1) % input.size();
+    const auto& nbrs = dilated[i];
+    if (nbrs.empty()) {
+      ++stall;
+      continue;
+    }
+    if (partner_order[i].empty()) {
+      partner_order[i].resize(nbrs.size());
+      std::iota(partner_order[i].begin(), partner_order[i].end(), 0u);
+      // Fisher-Yates driven by the shared deterministic RNG. The shuffle is
+      // what realizes the paper's "randomly select a subset S_i" from the
+      // dilated neighborhood: with d > 1 partners are spread over the wider
+      // receptive field instead of always being the closest points.
+      for (std::size_t a = partner_order[i].size(); a > 1; --a) {
+        std::swap(partner_order[i][a - 1], partner_order[i][rng.next(a)]);
+      }
+    }
+    if (next_partner[i] >= partner_order[i].size()) {
+      ++stall;
+      continue;  // this source exhausted all its partners
+    }
+    const Neighbor partner = nbrs[partner_order[i][next_partner[i]++]];
+    const auto pi = static_cast<std::uint32_t>(i);
+    const auto qi = static_cast<std::uint32_t>(partner.index);
+    result.cloud.push_back(midpoint(input.position(pi), input.position(qi)),
+                           input.color(pi));
+    parents.push_back({pi, qi});
+    ++produced;
+    stall = 0;
+  }
+  result.timing.interpolate_ms = timer.elapsed_ms();
+
+  // --- Stage 3: neighbor lists for new points + colorization ----------------
+  timer.reset();
+  result.new_neighbors.resize(parents.size());
+  const std::size_t new_begin = result.original_count;
+
+  // Keep a kd-tree around only for the no-reuse ablation path.
+  KdTree fresh_tree;
+  if (!config.reuse_neighbors) fresh_tree.build(input.positions());
+
+  auto process_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end; ++j) {
+      const Vec3f& np = result.cloud.position(new_begin + j);
+      if (config.reuse_neighbors) {
+        // Eq. 2: N_k(p') ~= MergeAndPrune(N_k(p), N_k(q)). Parents' own
+        // indices are added as candidates too (they are typically among the
+        // closest source points to the midpoint).
+        const auto [pi, qi] = result.parents[j];
+        std::array<Neighbor, 32> cand_a, cand_b;
+        const std::size_t na = std::min({k, dilated[pi].size(),
+                                         cand_a.size() - 1});
+        const std::size_t nb = std::min({k, dilated[qi].size(),
+                                         cand_b.size() - 1});
+        std::copy_n(dilated[pi].begin(), na, cand_a.begin());
+        std::copy_n(dilated[qi].begin(), nb, cand_b.begin());
+        cand_a[na] = {pi, 0.0f};
+        cand_b[nb] = {qi, 0.0f};
+        result.new_neighbors[j] = merge_and_prune(
+            std::span<const Neighbor>(cand_a.data(), na + 1),
+            std::span<const Neighbor>(cand_b.data(), nb + 1), np,
+            input.positions(), k);
+      } else {
+        result.new_neighbors[j] = fresh_tree.knn(np, k);
+      }
+    }
+  };
+  if (pool != nullptr && pool->worker_count() > 1) {
+    pool->parallel_for(parents.size(), process_range, /*min_grain=*/512);
+  } else {
+    process_range(0, parents.size());
+  }
+
+  if (config.colorize) {
+    // Nearest original point's color (§4.1), reusing the merged neighbor
+    // lists — no extra spatial queries.
+    for (std::size_t j = 0; j < parents.size(); ++j) {
+      const auto& nbrs = result.new_neighbors[j];
+      const std::uint32_t nearest =
+          nbrs.empty() ? result.parents[j][0]
+                       : static_cast<std::uint32_t>(nbrs.front().index);
+      result.cloud.color(new_begin + j) = input.color(nearest);
+    }
+  }
+  result.timing.colorize_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace volut

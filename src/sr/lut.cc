@@ -1,0 +1,81 @@
+#include "src/sr/lut.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "src/codec/npy.h"
+
+namespace volut {
+
+std::uint64_t LutSpec::entries_per_axis() const {
+  std::uint64_t e = 1;
+  for (std::size_t i = 0; i < receptive_field; ++i) {
+    e *= std::uint64_t(bins);
+  }
+  return e;
+}
+
+RefinementLut::RefinementLut(const LutSpec& spec) : spec_(spec) {
+  if (spec.receptive_field < 2 || spec.receptive_field > kMaxReceptiveField) {
+    throw std::invalid_argument("LutSpec: receptive_field out of range");
+  }
+  if (spec.bins < 2 || spec.bins > 4096) {
+    throw std::invalid_argument("LutSpec: bins out of range");
+  }
+  const std::uint64_t n = spec.entries_per_axis();
+  for (auto& t : tables_) t.assign(n, float_to_half(0.0f));
+}
+
+Vec3f RefinementLut::lookup(const EncodedNeighborhood& enc) const {
+  if (empty() || enc.radius <= 0.0f) return Vec3f{};
+  Vec3f offset{};
+  const std::size_t n = spec_.receptive_field;
+  for (int a = 0; a < 3; ++a) {
+    const std::uint64_t idx = axis_index(
+        std::span<const std::uint16_t>(enc.quantized[a].data(), n),
+        spec_.bins);
+    offset[a] = half_to_float(tables_[a][idx]) * enc.radius;
+  }
+  return offset;
+}
+
+void RefinementLut::save_npy(const std::string& path) const {
+  const std::uint64_t per_axis = spec_.entries_per_axis();
+  std::vector<half_t> flat;
+  flat.reserve(per_axis * 3);
+  for (const auto& t : tables_) flat.insert(flat.end(), t.begin(), t.end());
+  NpyArray array = npy_from_half(flat, {3, per_axis});
+  // Encode the spec in two trailing shape-free bytes? No — keep the file a
+  // pure (3, b^n) array as the paper describes; spec is recovered from the
+  // shape: n and b must satisfy b^n == per_axis with the smallest b >= 2
+  // matching a companion sidecar written next to the array.
+  npy_save_file(path, array);
+  // Sidecar with the exact spec (n is not uniquely recoverable from b^n).
+  std::ofstream meta(path + ".meta");
+  meta << spec_.receptive_field << " " << spec_.bins << "\n";
+  if (!meta) throw std::runtime_error("lut: cannot write sidecar for " + path);
+}
+
+RefinementLut RefinementLut::load_npy(const std::string& path) {
+  std::ifstream meta(path + ".meta");
+  LutSpec spec;
+  if (!(meta >> spec.receptive_field >> spec.bins)) {
+    throw std::runtime_error("lut: missing/invalid sidecar for " + path);
+  }
+  const NpyArray array = npy_load_file(path);
+  if (array.shape.size() != 2 || array.shape[0] != 3 ||
+      array.shape[1] != spec.entries_per_axis()) {
+    throw std::runtime_error("lut: array shape does not match spec");
+  }
+  const std::vector<half_t> flat = npy_to_half(array);
+  RefinementLut lut(spec);
+  const std::uint64_t per_axis = spec.entries_per_axis();
+  for (int a = 0; a < 3; ++a) {
+    std::copy(flat.begin() + std::int64_t(a * per_axis),
+              flat.begin() + std::int64_t((a + 1) * per_axis),
+              lut.tables_[a].begin());
+  }
+  return lut;
+}
+
+}  // namespace volut

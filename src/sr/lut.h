@@ -1,0 +1,75 @@
+// The refinement look-up table (§4.2).
+//
+// Memory layout (see DESIGN.md §1): the paper's Table 1 sizes reconcile with
+// three axis-separable tables — for each output axis a ∈ {x,y,z} a table of
+// b^n float16 entries indexed by the quantized a-coordinates of the center
+// point and its n-1 neighbors (center first). Lookup retrieves one normalized
+// offset per axis; denormalizing by the neighborhood radius R yields the
+// world-space refinement displacement applied to the interpolated point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/half.h"
+#include "src/core/vec3.h"
+#include "src/sr/position_encoding.h"
+
+namespace volut {
+
+/// Static configuration of a LUT. Table 1 of the paper sweeps n ∈ {3,4,5},
+/// b ∈ {64,128}; the deployed configuration is n=4, b=128.
+struct LutSpec {
+  std::size_t receptive_field = 4;  // n: center + (n-1) neighbors
+  int bins = 128;                   // b: quantization bins per dimension
+
+  /// Entries of one axis table: b^n.
+  std::uint64_t entries_per_axis() const;
+  /// Total entries across the three axis tables: 3 * b^n.
+  std::uint64_t total_entries() const { return 3 * entries_per_axis(); }
+  /// Bytes with float16 storage (Eq. 7 accounting, matching Table 1).
+  std::uint64_t bytes() const { return total_entries() * 2; }
+
+  bool operator==(const LutSpec& o) const {
+    return receptive_field == o.receptive_field && bins == o.bins;
+  }
+};
+
+/// The runtime LUT: three flat float16 arrays plus the spec.
+class RefinementLut {
+ public:
+  RefinementLut() = default;
+  explicit RefinementLut(const LutSpec& spec);
+
+  const LutSpec& spec() const { return spec_; }
+  bool empty() const { return tables_[0].empty(); }
+
+  /// Physical bytes currently allocated (== spec().bytes() once built).
+  std::uint64_t allocated_bytes() const {
+    return (tables_[0].size() + tables_[1].size() + tables_[2].size()) * 2;
+  }
+
+  /// Writes entry `idx` of the axis-a table (normalized offset).
+  void set(int axis, std::uint64_t idx, float normalized_offset) {
+    tables_[axis][idx] = float_to_half(normalized_offset);
+  }
+  float get(int axis, std::uint64_t idx) const {
+    return half_to_float(tables_[axis][idx]);
+  }
+
+  /// Full lookup for an encoded neighborhood: per-axis index computation,
+  /// table fetch and denormalization by the neighborhood radius. Returns the
+  /// world-space refinement offset to add to the interpolated point.
+  Vec3f lookup(const EncodedNeighborhood& enc) const;
+
+  /// NPY persistence (§6): a single '<f2' array of shape (3, b^n).
+  void save_npy(const std::string& path) const;
+  static RefinementLut load_npy(const std::string& path);
+
+ private:
+  LutSpec spec_;
+  std::vector<half_t> tables_[3];
+};
+
+}  // namespace volut

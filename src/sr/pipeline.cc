@@ -1,0 +1,57 @@
+#include "src/sr/pipeline.h"
+
+#include <stdexcept>
+
+#include "src/platform/timer.h"
+#include "src/sr/position_encoding.h"
+
+namespace volut {
+
+SrPipeline::SrPipeline(std::shared_ptr<const RefinementLut> lut,
+                       InterpolationConfig interp, ThreadPool* pool)
+    : lut_(std::move(lut)), interp_(interp), pool_(pool) {
+  if (lut_ == nullptr) {
+    throw std::invalid_argument("SrPipeline: lut must not be null");
+  }
+  // The LUT's receptive field defines the neighborhood size consumed by the
+  // refinement stage; keep interpolation's k in sync.
+  interp_.k = lut_->spec().receptive_field;
+}
+
+SrResult SrPipeline::upsample(const PointCloud& input, double ratio,
+                              bool refine) const {
+  SrResult result;
+  result.input_points = input.size();
+
+  InterpolationResult ir = interpolate(input, ratio, interp_, pool_);
+  result.timing.knn_ms = ir.timing.knn_ms;
+  result.timing.interpolate_ms = ir.timing.interpolate_ms;
+  result.timing.colorize_ms = ir.timing.colorize_ms;
+
+  if (refine && !lut_->empty()) {
+    Timer timer;
+    const std::size_t n = lut_->spec().receptive_field;
+    const int bins = lut_->spec().bins;
+    const std::size_t new_begin = ir.original_count;
+    auto refine_range = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t j = begin; j < end; ++j) {
+        Vec3f& p = ir.cloud.position(new_begin + j);
+        const EncodedNeighborhood enc = encode_neighborhood(
+            p, ir.new_neighbors[j], input.positions(), n, bins);
+        p += lut_->lookup(enc);
+      }
+    };
+    if (pool_ != nullptr && pool_->worker_count() > 1) {
+      pool_->parallel_for(ir.new_count(), refine_range, /*min_grain=*/1024);
+    } else {
+      refine_range(0, ir.new_count());
+    }
+    result.timing.refine_ms = timer.elapsed_ms();
+  }
+
+  result.output_points = ir.cloud.size();
+  result.cloud = std::move(ir.cloud);
+  return result;
+}
+
+}  // namespace volut

@@ -1,0 +1,56 @@
+// The end-to-end VoLUT SR pipeline (Figure 3): dilated interpolation ->
+// colorization -> LUT refinement.
+//
+// This is the client-side hot path: it runs per received frame and must hit
+// 30+ FPS on mobile-class devices. The timing breakdown it reports feeds
+// Figure 16 (kNN / interpolation / colorization / LUT refinement).
+#pragma once
+
+#include <memory>
+
+#include "src/core/point_cloud.h"
+#include "src/platform/thread_pool.h"
+#include "src/sr/interpolation.h"
+#include "src/sr/lut.h"
+
+namespace volut {
+
+struct SrTiming {
+  double knn_ms = 0.0;
+  double interpolate_ms = 0.0;
+  double colorize_ms = 0.0;
+  double refine_ms = 0.0;
+  double total_ms() const {
+    return knn_ms + interpolate_ms + colorize_ms + refine_ms;
+  }
+};
+
+struct SrResult {
+  PointCloud cloud;
+  SrTiming timing;
+  std::size_t input_points = 0;
+  std::size_t output_points = 0;
+};
+
+class SrPipeline {
+ public:
+  /// `lut` is shared so multiple pipelines (e.g. per-video sessions) reuse
+  /// one table; `pool` may be nullptr for serial execution.
+  SrPipeline(std::shared_ptr<const RefinementLut> lut,
+             InterpolationConfig interp, ThreadPool* pool = nullptr);
+
+  /// Upsamples `input` by `ratio` (>= 1, fractional supported). With
+  /// `refine` false only stage 1 runs (the K4dX-without-LUT ablation).
+  SrResult upsample(const PointCloud& input, double ratio,
+                    bool refine = true) const;
+
+  const RefinementLut& lut() const { return *lut_; }
+  const InterpolationConfig& interpolation_config() const { return interp_; }
+
+ private:
+  std::shared_ptr<const RefinementLut> lut_;
+  InterpolationConfig interp_;
+  ThreadPool* pool_;
+};
+
+}  // namespace volut

@@ -1,0 +1,49 @@
+#include "src/sr/position_encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace volut {
+
+EncodedNeighborhood encode_neighborhood(const Vec3f& center,
+                                        std::span<const Neighbor> neighbors,
+                                        std::span<const Vec3f> positions,
+                                        std::size_t n, int bins) {
+  EncodedNeighborhood enc;
+  enc.n = std::min(n, kMaxReceptiveField);
+
+  const std::size_t use = std::min(enc.n - 1, neighbors.size());
+  // Neighborhood radius R: maximum distance from any member to the center.
+  float r2_max = 0.0f;
+  for (std::size_t j = 0; j < use; ++j) {
+    r2_max = std::max(r2_max,
+                      distance2(positions[neighbors[j].index], center));
+  }
+  enc.radius = std::sqrt(r2_max);
+  const float inv_r = enc.radius > 0.0f ? 1.0f / enc.radius : 0.0f;
+
+  for (int a = 0; a < 3; ++a) {
+    // Slot 0: the target point itself, normalized coordinate 0 by Eq. 3.
+    enc.normalized[a][0] = 0.0f;
+    enc.quantized[a][0] = quantize_coord(0.0f, bins);
+    for (std::size_t j = 0; j < enc.n - 1; ++j) {
+      float v = 0.0f;
+      if (j < use) {
+        v = (positions[neighbors[j].index][a] - center[a]) * inv_r;
+      }
+      enc.normalized[a][j + 1] = v;
+      enc.quantized[a][j + 1] = quantize_coord(v, bins);
+    }
+  }
+  return enc;
+}
+
+std::uint64_t axis_index(std::span<const std::uint16_t> bins_seq, int bins) {
+  std::uint64_t idx = 0;
+  for (std::uint16_t q : bins_seq) {
+    idx = idx * std::uint64_t(bins) + q;
+  }
+  return idx;
+}
+
+}  // namespace volut

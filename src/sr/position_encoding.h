@@ -1,0 +1,67 @@
+// Position encoding (§4.2.1): turning a continuous 3D neighborhood into
+// discrete LUT indices.
+//
+// Pipeline (paper Figure 6 stages a-c):
+//   (a) input: target (interpolated) point + its n-1 nearest neighbors;
+//   (b) normalization relative to the target point, Eq. 3:
+//         n_i = (r_i - r_c) / R,  R = max_i ||r_i - r_c||,
+//       so all points land in [-1, 1]^3 (the target itself at the origin);
+//   (c) quantization into b bins, Eq. 4:
+//         q_i = floor((n_i + 1) / 2 * (b - 1)).
+// The target point is placed first in the index sequence (§4.2.1, final
+// note).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/vec3.h"
+#include "src/spatial/knn.h"
+
+namespace volut {
+
+/// Maximum supported receptive field; the paper explores n in {3, 4, 5}.
+inline constexpr std::size_t kMaxReceptiveField = 6;
+
+struct EncodedNeighborhood {
+  /// Receptive field actually encoded (center + neighbors).
+  std::size_t n = 0;
+  /// Neighborhood radius R (world units); 0 for a degenerate neighborhood.
+  float radius = 0.0f;
+  /// quantized[a][j]: bin of the j-th point (0 = center) along axis a.
+  std::array<std::array<std::uint16_t, kMaxReceptiveField>, 3> quantized{};
+  /// normalized[a][j]: pre-quantization normalized coordinate (kept for the
+  /// NN training path).
+  std::array<std::array<float, kMaxReceptiveField>, 3> normalized{};
+};
+
+/// Eq. 3 + Eq. 4 for one neighborhood. `center` is the interpolated point,
+/// `neighbor_positions[neighbors[j].index]` its j-th nearest source point.
+/// At most n-1 neighbors are consumed (fewer if the list is shorter; missing
+/// slots are padded with the center itself, i.e. bin of 0).
+EncodedNeighborhood encode_neighborhood(const Vec3f& center,
+                                        std::span<const Neighbor> neighbors,
+                                        std::span<const Vec3f> positions,
+                                        std::size_t n, int bins);
+
+/// Quantizes one normalized coordinate (Eq. 4), clamping to [-1, 1] first.
+/// The small epsilon keeps exact bin centers (dequantize_coord output) from
+/// falling below their own bin through float rounding.
+inline std::uint16_t quantize_coord(float normalized, int bins) {
+  const float c = std::clamp(normalized, -1.0f, 1.0f);
+  const int q = int((c + 1.0f) * 0.5f * float(bins - 1) + 1e-4f);
+  return static_cast<std::uint16_t>(std::clamp(q, 0, bins - 1));
+}
+
+/// Center value of bin q — the inverse map used when distilling the NN into
+/// the table.
+inline float dequantize_coord(std::uint16_t q, int bins) {
+  return 2.0f * float(q) / float(bins - 1) - 1.0f;
+}
+
+/// Flat index of the quantized sequence along one axis:
+///   idx = sum_j q[j] * b^(n-1-j)  (center first).
+std::uint64_t axis_index(std::span<const std::uint16_t> bins_seq, int bins);
+
+}  // namespace volut

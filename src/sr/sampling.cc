@@ -1,0 +1,75 @@
+#include "src/sr/sampling.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace volut {
+
+PointCloud farthest_point_sample(const PointCloud& cloud, std::size_t target,
+                                 Rng& rng) {
+  if (target >= cloud.size()) return cloud;
+  if (target == 0) return PointCloud{};
+
+  std::vector<std::size_t> picked;
+  picked.reserve(target);
+  std::vector<float> min_d2(cloud.size(),
+                            std::numeric_limits<float>::infinity());
+
+  std::size_t current = rng.next(cloud.size());
+  picked.push_back(current);
+  for (std::size_t step = 1; step < target; ++step) {
+    const Vec3f& cp = cloud.position(current);
+    std::size_t far_idx = 0;
+    float far_d2 = -1.0f;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+      const float d2 = distance2(cloud.position(i), cp);
+      if (d2 < min_d2[i]) min_d2[i] = d2;
+      if (min_d2[i] > far_d2) {
+        far_d2 = min_d2[i];
+        far_idx = i;
+      }
+    }
+    current = far_idx;
+    picked.push_back(current);
+  }
+  return cloud.subset(picked);
+}
+
+PointCloud voxel_downsample(const PointCloud& cloud, float voxel) {
+  if (cloud.empty() || voxel <= 0.0f) return cloud;
+  const AABB box = cloud.bounds();
+  struct Cell {
+    Vec3f sum{};
+    long r = 0, g = 0, b = 0;
+    std::size_t count = 0;
+  };
+  std::unordered_map<std::uint64_t, Cell> cells;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec3f& p = cloud.position(i);
+    const auto ix = std::uint64_t((p.x - box.lo.x) / voxel);
+    const auto iy = std::uint64_t((p.y - box.lo.y) / voxel);
+    const auto iz = std::uint64_t((p.z - box.lo.z) / voxel);
+    const std::uint64_t key = (ix * 73856093ull) ^ (iy * 19349663ull) ^
+                              (iz * 83492791ull);
+    Cell& c = cells[key];
+    c.sum += p;
+    c.r += cloud.color(i).r;
+    c.g += cloud.color(i).g;
+    c.b += cloud.color(i).b;
+    ++c.count;
+  }
+  PointCloud out;
+  out.reserve(cells.size());
+  for (const auto& [key, c] : cells) {
+    const float inv = 1.0f / float(c.count);
+    out.push_back(c.sum * inv,
+                  Color{std::uint8_t(double(c.r) / double(c.count)),
+                        std::uint8_t(double(c.g) / double(c.count)),
+                        std::uint8_t(double(c.b) / double(c.count))});
+  }
+  return out;
+}
+
+}  // namespace volut

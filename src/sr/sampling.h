@@ -1,0 +1,26 @@
+// Downsampling strategies (§4.1 alternative discussion, §5.2).
+//
+// VoLUT transmits randomly downsampled clouds (Bernoulli selection, §5.2) and
+// explicitly rejects farthest point sampling (FPS) for being orders of
+// magnitude slower; FPS is implemented here as the comparison baseline.
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/point_cloud.h"
+#include "src/core/rng.h"
+
+namespace volut {
+
+/// Farthest point sampling: iteratively picks the point farthest from the
+/// already-selected set. Preserves geometric coverage but costs
+/// O(input * target) — the paper measured >=5 min for 200K -> 100K points.
+PointCloud farthest_point_sample(const PointCloud& cloud, std::size_t target,
+                                 Rng& rng);
+
+/// Voxel-grid downsampling (one representative point per occupied voxel of
+/// size `voxel`); a common codec-side alternative used in tests as a
+/// geometry-preserving reference.
+PointCloud voxel_downsample(const PointCloud& cloud, float voxel);
+
+}  // namespace volut

@@ -1,0 +1,147 @@
+#include "src/stream/endpoint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace volut {
+
+std::pair<std::unique_ptr<InMemoryTransport>,
+          std::unique_ptr<InMemoryTransport>>
+InMemoryTransport::make_pair() {
+  auto a = std::unique_ptr<InMemoryTransport>(new InMemoryTransport());
+  auto b = std::unique_ptr<InMemoryTransport>(new InMemoryTransport());
+  a->peer_ = b.get();
+  b->peer_ = a.get();
+  return {std::move(a), std::move(b)};
+}
+
+void InMemoryTransport::send(const std::vector<std::uint8_t>& bytes) {
+  if (peer_ != nullptr && peer_->sink_) peer_->sink_(bytes);
+}
+
+ServerEndpoint::ServerEndpoint(VideoSpec spec, Transport* transport,
+                               double chunk_seconds,
+                               std::size_t max_frames_per_chunk)
+    : server_(std::move(spec)), transport_(transport),
+      chunk_seconds_(chunk_seconds),
+      max_frames_per_chunk_(max_frames_per_chunk) {
+  transport_->set_receive_sink(
+      [this](const std::vector<std::uint8_t>& bytes) { on_bytes(bytes); });
+}
+
+void ServerEndpoint::on_bytes(const std::vector<std::uint8_t>& bytes) {
+  parser_.feed(bytes);
+  while (auto message = parser_.next()) handle(*message);
+}
+
+void ServerEndpoint::handle(const Message& message) {
+  switch (message.type) {
+    case MessageType::kManifestRequest: {
+      const ManifestRequest req = decode_manifest_request(message);
+      Manifest manifest;
+      manifest.video_id = req.video_id;
+      manifest.total_chunks =
+          static_cast<std::uint32_t>(server_.chunk_count(chunk_seconds_));
+      manifest.frames_per_chunk = static_cast<std::uint32_t>(
+          server_.frames_per_chunk(chunk_seconds_));
+      manifest.chunk_seconds = float(chunk_seconds_);
+      manifest.full_points_per_frame =
+          static_cast<std::uint32_t>(server_.spec().points_per_frame);
+      manifest.full_chunk_bytes = static_cast<std::uint64_t>(
+          server_.chunk_bytes(1.0, chunk_seconds_));
+      transport_->send(frame_message(encode_manifest(manifest)));
+      return;
+    }
+    case MessageType::kChunkRequest: {
+      const ChunkRequest req = decode_chunk_request(message);
+      if (req.chunk_index >= server_.chunk_count(chunk_seconds_) ||
+          req.density_ratio <= 0.0f || req.density_ratio > 1.0f) {
+        transport_->send(frame_message(encode_error({/*code=*/400})));
+        return;
+      }
+      EncodedChunk chunk;
+      chunk.header.video_id = req.video_id;
+      chunk.header.chunk_index = req.chunk_index;
+      chunk.header.density_ratio = req.density_ratio;
+      chunk.header.sr_ratio = 1.0f / req.density_ratio;
+      const std::size_t fpc = server_.frames_per_chunk(chunk_seconds_);
+      const std::size_t frames = std::min(fpc, max_frames_per_chunk_);
+      chunk.header.frame_count = static_cast<std::uint32_t>(frames);
+      for (std::size_t f = 0; f < frames; ++f) {
+        const PointCloud full =
+            server_.ground_truth_frame(req.chunk_index, chunk_seconds_);
+        const PointCloud sampled =
+            full.random_downsample(req.density_ratio, rng_);
+        chunk.frames.push_back(encode_frame(sampled));
+      }
+      ++chunks_served_;
+      transport_->send(frame_message(encode_chunk_response(chunk)));
+      return;
+    }
+    default:
+      transport_->send(frame_message(encode_error({/*code=*/405})));
+  }
+}
+
+VolutClient::VolutClient(Transport* transport,
+                         std::shared_ptr<const RefinementLut> lut,
+                         InterpolationConfig interp)
+    : transport_(transport), pipeline_(std::move(lut), interp) {
+  transport_->set_receive_sink(
+      [this](const std::vector<std::uint8_t>& bytes) { on_bytes(bytes); });
+}
+
+void VolutClient::on_bytes(const std::vector<std::uint8_t>& bytes) {
+  bytes_received_ += bytes.size();
+  parser_.feed(bytes);
+  while (auto message = parser_.next()) inbox_.push_back(std::move(*message));
+}
+
+Message VolutClient::await_message() {
+  if (inbox_.empty()) {
+    throw std::runtime_error(
+        "VolutClient: no response (asynchronous transport without pump?)");
+  }
+  Message message = std::move(inbox_.front());
+  inbox_.erase(inbox_.begin());
+  return message;
+}
+
+Manifest VolutClient::fetch_manifest(std::uint32_t video_id) {
+  transport_->send(frame_message(encode_manifest_request({video_id})));
+  return decode_manifest(await_message());
+}
+
+ClientChunk VolutClient::fetch_chunk(std::uint32_t video_id,
+                                     std::uint32_t index,
+                                     float density_ratio) {
+  ChunkRequest req;
+  req.video_id = video_id;
+  req.chunk_index = index;
+  req.density_ratio = density_ratio;
+  transport_->send(frame_message(encode_chunk_request(req)));
+  const Message response = await_message();
+  if (response.type == MessageType::kError) {
+    throw std::runtime_error("VolutClient: server rejected chunk request");
+  }
+  const EncodedChunk chunk = decode_chunk_response(response);
+
+  ClientChunk result;
+  result.index = chunk.header.chunk_index;
+  result.density_ratio = chunk.header.density_ratio;
+  result.wire_bytes = frame_message(response).size();
+  const double sr_ratio = chunk.header.sr_ratio;
+  for (const EncodedFrame& frame : chunk.frames) {
+    PointCloud low = decode_frame(frame);
+    const SrResult sr = pipeline_.upsample(low, sr_ratio);
+    result.sr_timing.knn_ms += sr.timing.knn_ms;
+    result.sr_timing.interpolate_ms += sr.timing.interpolate_ms;
+    result.sr_timing.colorize_ms += sr.timing.colorize_ms;
+    result.sr_timing.refine_ms += sr.timing.refine_ms;
+    result.frames.push_back(std::move(low));
+    result.sr_frames.push_back(std::move(sr.cloud));
+  }
+  return result;
+}
+
+}  // namespace volut

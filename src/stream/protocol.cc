@@ -1,0 +1,112 @@
+#include "src/stream/protocol.h"
+
+#include <cstring>
+
+namespace volut {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x564C5554;  // "VLUT"
+constexpr std::size_t kHeaderSize = 12;       // magic + type + body length
+
+template <typename T>
+Message encode_pod(MessageType type, const T& value) {
+  Message message;
+  message.type = type;
+  message.body.resize(sizeof(T));
+  std::memcpy(message.body.data(), &value, sizeof(T));
+  return message;
+}
+
+template <typename T>
+T decode_pod(const Message& message, MessageType expected) {
+  if (message.type != expected) {
+    throw std::runtime_error("protocol: unexpected message type");
+  }
+  if (message.body.size() < sizeof(T)) {
+    throw std::runtime_error("protocol: truncated body");
+  }
+  T value;
+  std::memcpy(&value, message.body.data(), sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> frame_message(const Message& message) {
+  std::vector<std::uint8_t> out(kHeaderSize + message.body.size());
+  const std::uint32_t type = static_cast<std::uint32_t>(message.type);
+  const std::uint32_t length = static_cast<std::uint32_t>(message.body.size());
+  std::memcpy(out.data(), &kMagic, 4);
+  std::memcpy(out.data() + 4, &type, 4);
+  std::memcpy(out.data() + 8, &length, 4);
+  std::memcpy(out.data() + kHeaderSize, message.body.data(),
+              message.body.size());
+  return out;
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Message> FrameParser::next() {
+  if (buffer_.size() < kHeaderSize) return std::nullopt;
+  std::uint8_t header[kHeaderSize];
+  for (std::size_t i = 0; i < kHeaderSize; ++i) header[i] = buffer_[i];
+  std::uint32_t magic, type, length;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&type, header + 4, 4);
+  std::memcpy(&length, header + 8, 4);
+  if (magic != kMagic) throw std::runtime_error("protocol: bad magic");
+  if (buffer_.size() < kHeaderSize + length) return std::nullopt;
+
+  Message message;
+  message.type = static_cast<MessageType>(type);
+  message.body.assign(buffer_.begin() + kHeaderSize,
+                      buffer_.begin() + kHeaderSize + length);
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + kHeaderSize + length);
+  return message;
+}
+
+Message encode_manifest_request(const ManifestRequest& req) {
+  return encode_pod(MessageType::kManifestRequest, req);
+}
+Message encode_manifest(const Manifest& manifest) {
+  return encode_pod(MessageType::kManifestResponse, manifest);
+}
+Message encode_chunk_request(const ChunkRequest& req) {
+  return encode_pod(MessageType::kChunkRequest, req);
+}
+Message encode_error(const ErrorResponse& err) {
+  return encode_pod(MessageType::kError, err);
+}
+
+Message encode_chunk_response(const EncodedChunk& chunk) {
+  Message message;
+  message.type = MessageType::kChunkResponse;
+  message.body = serialize_chunk(chunk);
+  return message;
+}
+
+ManifestRequest decode_manifest_request(const Message& message) {
+  return decode_pod<ManifestRequest>(message, MessageType::kManifestRequest);
+}
+Manifest decode_manifest(const Message& message) {
+  return decode_pod<Manifest>(message, MessageType::kManifestResponse);
+}
+ChunkRequest decode_chunk_request(const Message& message) {
+  return decode_pod<ChunkRequest>(message, MessageType::kChunkRequest);
+}
+ErrorResponse decode_error(const Message& message) {
+  return decode_pod<ErrorResponse>(message, MessageType::kError);
+}
+
+EncodedChunk decode_chunk_response(const Message& message) {
+  if (message.type != MessageType::kChunkResponse) {
+    throw std::runtime_error("protocol: unexpected message type");
+  }
+  return parse_chunk(message.body);
+}
+
+}  // namespace volut

@@ -1,0 +1,98 @@
+// The DASH-like client/server protocol (§6: "We develop a custom DASH-like
+// protocol over TCP for client-server communication").
+//
+// Message framing: a 16-byte header (magic, type, body length) followed by a
+// type-specific body. The client first fetches the manifest (video metadata,
+// chunk geometry), then issues one ChunkRequest per chunk with the
+// ABR-decided density; the server answers with the encoded chunk.
+//
+// Transport is abstracted behind a byte-stream interface so the same protocol
+// code runs over an in-memory loopback (tests, simulations) or a real socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "src/codec/codec.h"
+
+namespace volut {
+
+enum class MessageType : std::uint32_t {
+  kManifestRequest = 1,
+  kManifestResponse = 2,
+  kChunkRequest = 3,
+  kChunkResponse = 4,
+  kError = 5,
+};
+
+struct ManifestRequest {
+  std::uint32_t video_id = 0;
+};
+
+struct Manifest {
+  std::uint32_t video_id = 0;
+  std::uint32_t total_chunks = 0;
+  std::uint32_t frames_per_chunk = 0;
+  float chunk_seconds = 1.0f;
+  std::uint32_t full_points_per_frame = 0;
+  /// Exact wire size of a full-density chunk (lets the ABR plan byte
+  /// budgets without probing).
+  std::uint64_t full_chunk_bytes = 0;
+};
+
+struct ChunkRequest {
+  std::uint32_t video_id = 0;
+  std::uint32_t chunk_index = 0;
+  /// Requested density in (0, 1]; the server downsamples to this fraction.
+  float density_ratio = 1.0f;
+};
+
+struct ErrorResponse {
+  std::uint32_t code = 0;
+  // (string payloads omitted: numeric codes keep framing trivial)
+};
+
+/// A framed protocol message: header + raw body bytes.
+struct Message {
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+};
+
+/// Serializes a message with framing (magic + type + length + body).
+std::vector<std::uint8_t> frame_message(const Message& message);
+
+/// Incremental frame parser: feed arbitrary byte slices, pop complete
+/// messages. Throws std::runtime_error on a corrupt magic.
+class FrameParser {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  void feed(const std::vector<std::uint8_t>& data) {
+    feed(data.data(), data.size());
+  }
+
+  /// Returns the next complete message, or nullopt if more bytes are needed.
+  std::optional<Message> next();
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+};
+
+// --- body encoders/decoders (plain little-endian PODs) ----------------------
+
+Message encode_manifest_request(const ManifestRequest& req);
+Message encode_manifest(const Manifest& manifest);
+Message encode_chunk_request(const ChunkRequest& req);
+/// Chunk responses carry a serialized EncodedChunk (codec.h wire format).
+Message encode_chunk_response(const EncodedChunk& chunk);
+Message encode_error(const ErrorResponse& err);
+
+ManifestRequest decode_manifest_request(const Message& message);
+Manifest decode_manifest(const Message& message);
+ChunkRequest decode_chunk_request(const Message& message);
+EncodedChunk decode_chunk_response(const Message& message);
+ErrorResponse decode_error(const Message& message);
+
+}  // namespace volut

@@ -1,0 +1,23 @@
+#include "src/stream/server.h"
+
+namespace volut {
+
+PointCloud VideoServer::encode_sample_frame(std::size_t chunk_index,
+                                            double density_ratio,
+                                            double chunk_seconds) {
+  const PointCloud full = ground_truth_frame(chunk_index, chunk_seconds);
+  const PointCloud sampled =
+      full.random_downsample(float(density_ratio), rng_);
+  // Round-trip through the codec so the client sees quantized positions.
+  return decode_frame(encode_frame(sampled));
+}
+
+PointCloud VideoServer::ground_truth_frame(std::size_t chunk_index,
+                                           double chunk_seconds) const {
+  const std::size_t fpc = frames_per_chunk(chunk_seconds);
+  const std::size_t mid_frame = chunk_index * fpc + fpc / 2;
+  return video_.frame(mid_frame % std::max<std::size_t>(
+                                      1, video_.spec().total_frames()));
+}
+
+}  // namespace volut

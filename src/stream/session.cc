@@ -1,0 +1,233 @@
+#include "src/stream/session.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/abr/throughput.h"
+
+namespace volut {
+
+std::string system_name(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kVolutContinuous: return "volut-h1-continuous";
+    case SystemKind::kVolutDiscrete: return "volut-h2-discrete";
+    case SystemKind::kYuzuSr: return "yuzu-sr-h3";
+    case SystemKind::kVivo: return "vivo";
+    case SystemKind::kRaw: return "raw";
+  }
+  return "unknown";
+}
+
+double SessionResult::normalized_qoe() const {
+  if (chunks.empty()) return 0.0;
+  // A perfect session: full quality every chunk, no switches, no stalls.
+  const double ideal = 100.0 * double(chunks.size());
+  return std::max(0.0, 100.0 * qoe / ideal);
+}
+
+SessionResult run_session(const SessionConfig& config,
+                          const SimulatedLink& link,
+                          const MotionTrace* motion) {
+  SessionResult result;
+  result.system = system_name(config.kind);
+
+  VideoServer server(config.video);
+  const std::size_t n_chunks =
+      std::min<std::size_t>(config.max_chunks,
+                            server.chunk_count(config.chunk_seconds));
+  const double full_bytes =
+      server.chunk_bytes(1.0, config.chunk_seconds);
+
+  std::unique_ptr<AbrPolicy> abr;
+  switch (config.kind) {
+    case SystemKind::kVolutContinuous:
+      abr = std::make_unique<ContinuousMpcAbr>(config.qoe);
+      break;
+    case SystemKind::kVolutDiscrete:
+    case SystemKind::kYuzuSr:
+      abr = std::make_unique<DiscreteMpcAbr>(config.qoe);
+      break;
+    case SystemKind::kVivo:
+      // ViVo adapts quality per cell but has no SR: discrete ladder with
+      // quality equal to the delivered density.
+      abr = std::make_unique<DiscreteMpcAbr>(config.qoe,
+                                             DiscreteMpcAbr::default_ladder(),
+                                             /*sr_enabled=*/false);
+      break;
+    case SystemKind::kRaw:
+      break;  // fixed policy handled inline
+  }
+
+  // YuZu downloads its SR models up front; count the bytes and the time.
+  double clock = 0.0;
+  if (config.kind == SystemKind::kYuzuSr) {
+    result.total_bytes += config.yuzu_model_bytes;
+    clock = link.download_complete_time(config.yuzu_model_bytes, clock);
+  }
+
+  // Coarse reference frame for ViVo visibility planning (one per session;
+  // content extent is stable across frames).
+  PointCloud vivo_reference;
+  if (config.kind == SystemKind::kVivo) {
+    VideoSpec coarse = config.video;
+    coarse.points_per_frame = std::min<std::size_t>(
+        coarse.points_per_frame, 2000);
+    vivo_reference = SyntheticVideo(coarse).frame(0);
+  }
+
+  ThroughputEstimator estimator(5);
+  double buffer = 0.0;
+  double prev_quality = -1.0;
+  double prev_ratio = 1.0;
+
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    ChunkRecord rec;
+    rec.index = i;
+
+    // ------------------------------------------------------------------ ABR
+    double fetch_fraction = 1.0;  // of full-density bytes
+    double quality = 100.0;
+    double sr_seconds = 0.0;
+    switch (config.kind) {
+      case SystemKind::kVolutContinuous:
+      case SystemKind::kVolutDiscrete: {
+        AbrContext ctx;
+        ctx.throughput_mbps = estimator.estimate_mbps(
+            link.trace.bandwidth_at(clock) * 0.8);
+        ctx.buffer_seconds = buffer;
+        ctx.prev_density_ratio = prev_ratio;
+        ctx.chunk_seconds = config.chunk_seconds;
+        ctx.full_chunk_bytes = full_bytes;
+        ctx.sr_seconds_per_chunk_full = config.volut_sr_seconds_per_chunk;
+        ctx.horizon = config.mpc_horizon;
+        ctx.max_buffer_seconds = config.max_buffer_seconds;
+        const AbrDecision d = abr->decide(ctx);
+        rec.density_ratio = d.density_ratio;
+        fetch_fraction = d.density_ratio;
+        quality = quality_score(d.density_ratio, config.qoe, true);
+        sr_seconds = config.volut_sr_seconds_per_chunk * d.density_ratio;
+        break;
+      }
+      case SystemKind::kYuzuSr: {
+        AbrContext ctx;
+        ctx.throughput_mbps = estimator.estimate_mbps(
+            link.trace.bandwidth_at(clock) * 0.8);
+        ctx.buffer_seconds = buffer;
+        ctx.prev_density_ratio = prev_ratio;
+        ctx.chunk_seconds = config.chunk_seconds;
+        ctx.full_chunk_bytes = full_bytes;
+        // YuZu's ABR does not model its SR latency (the stalls the paper
+        // attributes to slow SR under H3).
+        ctx.sr_seconds_per_chunk_full = 0.0;
+        ctx.horizon = config.mpc_horizon;
+        ctx.max_buffer_seconds = config.max_buffer_seconds;
+        const AbrDecision d = abr->decide(ctx);
+        rec.density_ratio = d.density_ratio;
+        fetch_fraction = d.density_ratio;
+        quality = quality_score(d.density_ratio, config.qoe, true);
+        // Neural SR cost scales with output points => flat at full density.
+        sr_seconds = d.density_ratio < 1.0
+                         ? config.yuzu_sr_seconds_per_chunk
+                         : 0.0;
+        break;
+      }
+      case SystemKind::kVivo: {
+        const double t_decision = clock;
+        const double t_playback =
+            double(i) * config.chunk_seconds + config.chunk_seconds * 0.5;
+        Pose decision_pose, playback_pose;
+        if (motion != nullptr && !motion->empty()) {
+          decision_pose =
+              motion->pose(std::size_t(t_decision * motion->fps()));
+          playback_pose =
+              motion->pose(std::size_t(t_playback * motion->fps()));
+        }
+        const VivoChunkPlan plan = vivo_plan_chunk(
+            vivo_reference, decision_pose, playback_pose, config.vivo);
+        // Density adaptation on top of visibility-aware fetching. Both
+        // viewport culling (fewer bytes) and misprediction (lost coverage)
+        // come from the plan.
+        AbrContext ctx;
+        ctx.throughput_mbps = estimator.estimate_mbps(
+            link.trace.bandwidth_at(clock) * 0.8);
+        ctx.buffer_seconds = buffer;
+        ctx.prev_density_ratio = prev_ratio;
+        ctx.chunk_seconds = config.chunk_seconds;
+        ctx.full_chunk_bytes = full_bytes * plan.fetch_fraction;
+        ctx.horizon = config.mpc_horizon;
+        ctx.max_buffer_seconds = config.max_buffer_seconds;
+        const AbrDecision d = abr->decide(ctx);
+        rec.density_ratio = d.density_ratio;
+        fetch_fraction = d.density_ratio * plan.fetch_fraction;
+        quality = quality_score(d.density_ratio, config.qoe, false) *
+                  plan.coverage;
+        break;
+      }
+      case SystemKind::kRaw:
+        rec.density_ratio = 1.0;
+        fetch_fraction = 1.0;
+        quality = 100.0;
+        break;
+    }
+
+    // ------------------------------------------------------------- download
+    rec.bytes = full_bytes * fetch_fraction;
+    const double t_done = link.download_complete_time(rec.bytes, clock);
+    rec.download_seconds = t_done - clock;
+    if (rec.download_seconds > 0.0) {
+      estimator.add_sample(rec.bytes * 8.0 / rec.download_seconds / 1e6);
+    }
+
+    // ------------------------------------------------ buffer/stall dynamics
+    // The client pipelines download and SR across chunks (§6 "multi-
+    // threading and system pipelining"): per-chunk busy time is the longer
+    // of the two stages plus a 25% overlap-inefficiency share of the
+    // shorter (pipeline bubbles, memory traffic).
+    rec.sr_seconds = sr_seconds;
+    const double busy =
+        std::max(rec.download_seconds, rec.sr_seconds) +
+        0.25 * std::min(rec.download_seconds, rec.sr_seconds);
+    const bool playing = i >= config.startup_chunks;
+    if (playing) {
+      rec.stall_seconds = std::max(0.0, busy - buffer);
+      buffer = std::max(0.0, buffer - busy) + config.chunk_seconds;
+    } else {
+      buffer += config.chunk_seconds;  // startup prefetch
+    }
+    buffer = std::min(buffer, config.max_buffer_seconds);
+    // When the buffer is full the client idles before the next request.
+    clock = t_done;
+    if (buffer >= config.max_buffer_seconds - 1e-9 && playing) {
+      clock += config.chunk_seconds * 0.25;
+    }
+
+    // ------------------------------------------------------------------ QoE
+    rec.quality = quality;
+    const double q_prev = prev_quality < 0.0 ? quality : prev_quality;
+    rec.qoe = chunk_qoe(quality, q_prev, rec.stall_seconds, config.qoe);
+    rec.buffer_after = buffer;
+
+    if (prev_quality >= 0.0 && std::abs(quality - prev_quality) > 1.0) {
+      ++result.quality_switches;
+    }
+    prev_quality = quality;
+    prev_ratio = rec.density_ratio;
+
+    result.total_bytes += rec.bytes;
+    result.stall_seconds += rec.stall_seconds;
+    result.qoe += rec.qoe;
+    result.mean_quality += quality;
+    result.mean_density += rec.density_ratio;
+    result.chunks.push_back(rec);
+  }
+
+  if (!result.chunks.empty()) {
+    result.mean_quality /= double(result.chunks.size());
+    result.mean_density /= double(result.chunks.size());
+    result.data_usage_fraction =
+        result.total_bytes / (full_bytes * double(result.chunks.size()));
+  }
+  return result;
+}
+
+}  // namespace volut

@@ -1,0 +1,107 @@
+// End-to-end streaming session simulator.
+//
+// Drives one playback session of a video over a simulated link with one of
+// the evaluated systems, reproducing the paper's end-to-end methodology
+// (§7.4-7.5): per-chunk ABR decision -> trace-driven download -> client-side
+// SR compute -> buffer dynamics -> Eq. 10 QoE accounting. This is the engine
+// behind Figures 12, 13 and 14.
+//
+// Evaluated systems (Table 2 + §7.4 baselines):
+//   kVolutContinuous  H1: VoLUT, continuous MPC ABR, LUT SR
+//   kVolutDiscrete    H2: VoLUT, discrete MPC ABR, LUT SR
+//   kYuzuSr           H3 / YuZu-SR: discrete ABR, neural SR (slow), per-ratio
+//                     model downloads counted in data usage
+//   kVivo             ViVo: viewport-adaptive, full density, no SR
+//   kRaw              raw full-density streaming (the data-usage reference)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/abr/mpc.h"
+#include "src/abr/qoe.h"
+#include "src/baselines/vivo.h"
+#include "src/data/motion_trace.h"
+#include "src/net/trace.h"
+#include "src/stream/server.h"
+
+namespace volut {
+
+enum class SystemKind {
+  kVolutContinuous,
+  kVolutDiscrete,
+  kYuzuSr,
+  kVivo,
+  kRaw,
+};
+
+std::string system_name(SystemKind kind);
+
+struct SessionConfig {
+  SystemKind kind = SystemKind::kVolutContinuous;
+  VideoSpec video = VideoSpec::dress(0.02);
+  double chunk_seconds = 1.0;
+  /// Cap on simulated chunks (sessions over looped short videos would
+  /// otherwise be unbounded).
+  std::size_t max_chunks = 120;
+  QoeConfig qoe;
+  std::size_t mpc_horizon = 5;
+  double max_buffer_seconds = 10.0;
+  /// Chunks prefetched before playback starts (startup delay is not counted
+  /// as stall, as is conventional).
+  std::size_t startup_chunks = 2;
+
+  /// Client SR compute per chunk of full-density input, in seconds.
+  /// VoLUT's cost scales with *input* points (kNN-bound, §7.3) so the
+  /// simulator charges volut_sr * density_ratio; YuZu's neural SR scales
+  /// with *output* points (always full density) so its cost is flat.
+  /// Defaults anchor to the paper's Figure 17 (VoLUT ~8.4x faster than
+  /// YuZu, whose neural SR sits at/just past the 33 ms frame budget):
+  /// 0.10 s per 30-frame chunk for VoLUT; 1.1 s for YuZu (borderline
+  /// real-time plus scheduling jitter — the SR-induced stall source the
+  /// paper's H3 ablation attributes its 36.7% QoE drop to).
+  double volut_sr_seconds_per_chunk = 0.10;
+  double yuzu_sr_seconds_per_chunk = 1.0;
+  /// One-time model downloads for YuZu (per-ratio models; counted in data
+  /// usage per §7.4 "including SR models for yuzu SR").
+  double yuzu_model_bytes = 8e6;
+  VivoConfig vivo;
+  std::uint64_t seed = 5;
+};
+
+struct ChunkRecord {
+  std::size_t index = 0;
+  double density_ratio = 1.0;
+  double bytes = 0.0;
+  double download_seconds = 0.0;
+  double sr_seconds = 0.0;
+  double stall_seconds = 0.0;
+  double quality = 0.0;
+  double qoe = 0.0;
+  double buffer_after = 0.0;
+};
+
+struct SessionResult {
+  std::string system;
+  std::vector<ChunkRecord> chunks;
+  double total_bytes = 0.0;
+  double stall_seconds = 0.0;
+  double qoe = 0.0;
+  double mean_quality = 0.0;
+  double mean_density = 0.0;
+  std::size_t quality_switches = 0;
+  /// Bytes relative to raw full-density streaming of the same chunks.
+  double data_usage_fraction = 0.0;
+
+  /// QoE normalized so that a stall-free full-density session scores 100.
+  double normalized_qoe() const;
+};
+
+/// Runs one session. `motion` is required for kVivo (viewport planning) and
+/// optional otherwise.
+SessionResult run_session(const SessionConfig& config,
+                          const SimulatedLink& link,
+                          const MotionTrace* motion = nullptr);
+
+}  // namespace volut

@@ -1,0 +1,169 @@
+// Tests for the QoE model, throughput estimation and MPC ABR variants.
+#include <gtest/gtest.h>
+
+#include "src/abr/mpc.h"
+#include "src/abr/qoe.h"
+#include "src/abr/throughput.h"
+
+namespace volut {
+namespace {
+
+TEST(QoeTest, QualityScoreRangeAndMonotonicity) {
+  const QoeConfig cfg;
+  EXPECT_DOUBLE_EQ(quality_score(1.0, cfg, true), 100.0);
+  EXPECT_DOUBLE_EQ(quality_score(0.0, cfg, true), 0.0);
+  double prev = -1.0;
+  for (double r = 0.05; r <= 1.0; r += 0.05) {
+    const double q = quality_score(r, cfg, true);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(QoeTest, SrCompensatesLowDensity) {
+  const QoeConfig cfg;
+  // With SR, 25% density retains most quality; without it, quality ~= 25.
+  EXPECT_GT(quality_score(0.25, cfg, true), 55.0);
+  EXPECT_DOUBLE_EQ(quality_score(0.25, cfg, false), 25.0);
+}
+
+TEST(QoeTest, VariationPenalizesDropsMore) {
+  const QoeConfig cfg;
+  const double up = variation_penalty(80, 60, cfg);
+  const double down = variation_penalty(60, 80, cfg);
+  EXPECT_DOUBLE_EQ(up, 20.0);
+  EXPECT_DOUBLE_EQ(down, 30.0);  // 1.5x drop penalty
+}
+
+TEST(QoeTest, ChunkQoeComposition) {
+  QoeConfig cfg;
+  cfg.alpha = 1;
+  cfg.beta = 1;
+  cfg.gamma = 4.3;
+  // quality 90, previous 100 (drop of 10 -> 15), stall 0.5 s -> 2.15.
+  EXPECT_NEAR(chunk_qoe(90, 100, 0.5, cfg), 90 - 15 - 2.15, 1e-9);
+}
+
+TEST(ThroughputTest, HarmonicMeanWindow) {
+  ThroughputEstimator est(3);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(42.0), 42.0);  // fallback
+  est.add_sample(10);
+  est.add_sample(10);
+  est.add_sample(10);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 10.0);
+  // Window slides: three 20s push the 10s out.
+  est.add_sample(20);
+  est.add_sample(20);
+  est.add_sample(20);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 20.0);
+}
+
+TEST(ThroughputTest, ConservativeUnderVariance) {
+  ThroughputEstimator est(5);
+  est.add_sample(100);
+  est.add_sample(5);
+  // Harmonic mean < arithmetic mean: predictor hedges against slow chunks.
+  EXPECT_LT(est.estimate_mbps(), 52.5);
+}
+
+AbrContext make_ctx(double mbps, double buffer, double full_mb = 2.0) {
+  AbrContext ctx;
+  ctx.throughput_mbps = mbps;
+  ctx.buffer_seconds = buffer;
+  ctx.prev_density_ratio = 0.5;
+  ctx.chunk_seconds = 1.0;
+  ctx.full_chunk_bytes = full_mb * 1e6;
+  ctx.horizon = 5;
+  ctx.max_buffer_seconds = 10.0;
+  return ctx;
+}
+
+TEST(MpcTest, AbundantBandwidthRampsToFullDensity) {
+  ContinuousMpcAbr abr;
+  // 2 MB chunk = 16 Mbit; at 200 Mbps download takes 0.08 s per 1 s chunk.
+  // The controller rate-limits density changes (smooth transitions, §5), so
+  // it ramps up across decisions rather than jumping.
+  AbrContext ctx = make_ctx(200.0, 5.0);
+  AbrDecision d{};
+  for (int i = 0; i < 30; ++i) {
+    d = abr.decide(ctx);
+    EXPECT_GE(d.density_ratio, ctx.prev_density_ratio - 1e-9);
+    ctx.prev_density_ratio = d.density_ratio;
+  }
+  EXPECT_GT(d.density_ratio, 0.95);
+  EXPECT_NEAR(d.sr_ratio, 1.0 / d.density_ratio, 1e-9);
+}
+
+TEST(MpcTest, ScarceBandwidthDownsamples) {
+  ContinuousMpcAbr abr;
+  // 16 Mbit chunk at 4 Mbps would take 4 s per 1 s chunk: must downsample.
+  const AbrDecision d = abr.decide(make_ctx(4.0, 1.0));
+  EXPECT_LT(d.density_ratio, 0.4);
+  EXPECT_GT(d.density_ratio, 0.0);
+}
+
+TEST(MpcTest, DecisionMonotonicInBandwidth) {
+  ContinuousMpcAbr abr;
+  double prev = 0.0;
+  for (double mbps : {4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+    const AbrDecision d = abr.decide(make_ctx(mbps, 2.0));
+    EXPECT_GE(d.density_ratio, prev - 1e-9) << mbps;
+    prev = d.density_ratio;
+  }
+}
+
+TEST(MpcTest, LargerBufferAllowsHigherQuality) {
+  ContinuousMpcAbr abr;
+  const AbrDecision starved = abr.decide(make_ctx(10.0, 0.5));
+  const AbrDecision cushy = abr.decide(make_ctx(10.0, 8.0));
+  EXPECT_GE(cushy.density_ratio, starved.density_ratio);
+}
+
+TEST(MpcTest, ContinuousBeatsDiscreteOnIntermediateBandwidth) {
+  // At a bandwidth between two ladder rungs, the continuous policy can pick
+  // an intermediate density and achieve a >= horizon objective.
+  QoeConfig qoe;
+  const AbrContext ctx = make_ctx(11.0, 2.0);
+  ContinuousMpcAbr cont(qoe);
+  DiscreteMpcAbr disc(qoe);
+  const double v_cont =
+      evaluate_horizon(cont.decide(ctx).density_ratio, ctx, qoe, true);
+  const double v_disc =
+      evaluate_horizon(disc.decide(ctx).density_ratio, ctx, qoe, true);
+  EXPECT_GE(v_cont, v_disc);
+}
+
+TEST(MpcTest, DiscreteChoosesFromLadderOnly) {
+  DiscreteMpcAbr abr;
+  const auto ladder = DiscreteMpcAbr::default_ladder();
+  for (double mbps : {3.0, 9.0, 27.0, 81.0}) {
+    const AbrDecision d = abr.decide(make_ctx(mbps, 2.0));
+    bool on_ladder = false;
+    for (double r : ladder) {
+      if (std::abs(r - d.density_ratio) < 1e-12) on_ladder = true;
+    }
+    EXPECT_TRUE(on_ladder) << d.density_ratio;
+  }
+}
+
+TEST(MpcTest, SrLatencyAwareControllerBacksOff) {
+  // When SR compute is slow (YuZu-like 0.8 s/chunk) and modeled, the
+  // controller picks a lower density than when SR is free.
+  AbrContext fast = make_ctx(20.0, 1.0);
+  AbrContext slow = fast;
+  slow.sr_seconds_per_chunk_full = 0.8;
+  ContinuousMpcAbr abr;
+  EXPECT_LE(abr.decide(slow).density_ratio,
+            abr.decide(fast).density_ratio + 1e-9);
+}
+
+TEST(MpcTest, EvaluateHorizonPenalizesStalls) {
+  QoeConfig qoe;
+  const AbrContext ctx = make_ctx(2.0, 0.0);  // hopeless bandwidth
+  const double v_full = evaluate_horizon(1.0, ctx, qoe, true);
+  const double v_low = evaluate_horizon(0.1, ctx, qoe, true);
+  EXPECT_GT(v_low, v_full);
+}
+
+}  // namespace
+}  // namespace volut

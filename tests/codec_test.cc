@@ -1,0 +1,152 @@
+// Tests for the wire codec, chunk serialization, NPY and PLY I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "src/codec/codec.h"
+#include "src/codec/npy.h"
+#include "src/codec/ply.h"
+#include "src/core/rng.h"
+
+namespace volut {
+namespace {
+
+PointCloud random_cloud(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  PointCloud pc;
+  for (std::size_t i = 0; i < n; ++i) {
+    pc.push_back({rng.uniform(-2, 2), rng.uniform(0, 2), rng.uniform(-2, 2)},
+                 Color{std::uint8_t(rng.next(256)), std::uint8_t(rng.next(256)),
+                       std::uint8_t(rng.next(256))});
+  }
+  return pc;
+}
+
+TEST(CodecTest, FrameRoundTripPreservesCountAndColors) {
+  const PointCloud pc = random_cloud(500, 1);
+  const EncodedFrame frame = encode_frame(pc);
+  EXPECT_EQ(frame.point_count, 500u);
+  EXPECT_EQ(frame.payload.size(), 500u * kBytesPerPoint);
+  const PointCloud back = decode_frame(frame);
+  ASSERT_EQ(back.size(), pc.size());
+  for (std::size_t i = 0; i < pc.size(); i += 13) {
+    EXPECT_EQ(back.color(i), pc.color(i));
+  }
+}
+
+TEST(CodecTest, QuantizationErrorBounded) {
+  const PointCloud pc = random_cloud(1000, 2);
+  const PointCloud back = decode_frame(encode_frame(pc));
+  const Vec3f ext = pc.bounds().extent();
+  // 16-bit quantization: error at most one bin = extent / 65535 per axis.
+  const float tol = std::max({ext.x, ext.y, ext.z}) / 65535.0f * 1.5f;
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    EXPECT_LE(distance(back.position(i), pc.position(i)), tol * 2.0f);
+  }
+}
+
+TEST(CodecTest, EmptyFrame) {
+  const EncodedFrame frame = encode_frame(PointCloud{});
+  EXPECT_EQ(frame.point_count, 0u);
+  EXPECT_TRUE(decode_frame(frame).empty());
+}
+
+TEST(CodecTest, DegenerateFlatCloudSurvives) {
+  PointCloud pc;
+  for (int i = 0; i < 10; ++i) pc.push_back({float(i), 5.0f, 5.0f});
+  const PointCloud back = decode_frame(encode_frame(pc));
+  ASSERT_EQ(back.size(), 10u);
+  EXPECT_NEAR(back.position(3).y, 5.0f, 1e-3f);
+}
+
+TEST(CodecTest, ChunkSerializationRoundTrip) {
+  EncodedChunk chunk;
+  chunk.header = {7, 3, 2, 0.25f, 4.0f};
+  chunk.frames.push_back(encode_frame(random_cloud(100, 3)));
+  chunk.frames.push_back(encode_frame(random_cloud(120, 4)));
+  const auto bytes = serialize_chunk(chunk);
+  const EncodedChunk back = parse_chunk(bytes);
+  EXPECT_EQ(back.header.video_id, 7u);
+  EXPECT_EQ(back.header.chunk_index, 3u);
+  EXPECT_FLOAT_EQ(back.header.density_ratio, 0.25f);
+  ASSERT_EQ(back.frames.size(), 2u);
+  EXPECT_EQ(back.frames[1].point_count, 120u);
+  const PointCloud f0 = decode_frame(back.frames[0]);
+  EXPECT_EQ(f0.size(), 100u);
+}
+
+TEST(CodecTest, ParseTruncatedThrows) {
+  EncodedChunk chunk;
+  chunk.frames.push_back(encode_frame(random_cloud(50, 5)));
+  auto bytes = serialize_chunk(chunk);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(parse_chunk(bytes), std::runtime_error);
+}
+
+TEST(NpyTest, HalfRoundTrip) {
+  std::vector<half_t> values;
+  for (float v : {0.0f, 1.0f, -0.5f, 0.333f, 100.0f}) {
+    values.push_back(float_to_half(v));
+  }
+  const NpyArray array = npy_from_half(values, {5});
+  std::stringstream ss;
+  npy_save(ss, array);
+  const NpyArray back = npy_load(ss);
+  EXPECT_EQ(back.dtype, "<f2");
+  ASSERT_EQ(back.shape, (std::vector<std::size_t>{5}));
+  const auto half_back = npy_to_half(back);
+  EXPECT_EQ(half_back, values);
+}
+
+TEST(NpyTest, HeaderIsNumpyCompatible) {
+  const NpyArray array = npy_from_half({float_to_half(1.0f)}, {1});
+  std::stringstream ss;
+  npy_save(ss, array);
+  const std::string s = ss.str();
+  EXPECT_EQ(s.substr(0, 6), "\x93NUMPY");
+  EXPECT_EQ(s[6], 1);  // version 1.0
+  // Total header (magic..newline) is 64-byte aligned.
+  const std::size_t header_len = std::size_t(std::uint8_t(s[8])) |
+                                 (std::size_t(std::uint8_t(s[9])) << 8);
+  EXPECT_EQ((10 + header_len) % 64, 0u);
+  EXPECT_NE(s.find("'descr': '<f2'"), std::string::npos);
+  EXPECT_NE(s.find("'fortran_order': False"), std::string::npos);
+}
+
+TEST(NpyTest, MultiDimShape) {
+  std::vector<half_t> values(12, float_to_half(2.0f));
+  const NpyArray array = npy_from_half(values, {3, 4});
+  std::stringstream ss;
+  npy_save(ss, array);
+  const NpyArray back = npy_load(ss);
+  EXPECT_EQ(back.shape, (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(back.element_count(), 12u);
+}
+
+TEST(NpyTest, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "NOTNUMPY............";
+  EXPECT_THROW(npy_load(ss), std::runtime_error);
+}
+
+TEST(PlyTest, RoundTrip) {
+  const PointCloud pc = random_cloud(50, 6);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "volut_test.ply").string();
+  ASSERT_TRUE(save_ply(path, pc));
+  const PointCloud back = load_ply(path);
+  ASSERT_EQ(back.size(), pc.size());
+  for (std::size_t i = 0; i < pc.size(); i += 7) {
+    EXPECT_NEAR(back.position(i).x, pc.position(i).x, 1e-4f);
+    EXPECT_EQ(back.color(i), pc.color(i));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PlyTest, MissingFileThrows) {
+  EXPECT_THROW(load_ply("/nonexistent/volut.ply"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,232 @@
+// Unit tests for src/core: vectors, boxes, colors, half floats, point clouds,
+// RNG determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/core/aabb.h"
+#include "src/core/color.h"
+#include "src/core/half.h"
+#include "src/core/point_cloud.h"
+#include "src/core/rng.h"
+#include "src/core/vec3.h"
+
+namespace volut {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3f a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3f{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3f{3, 3, 3}));
+  EXPECT_EQ(a * 2.0f, (Vec3f{2, 4, 6}));
+  EXPECT_EQ(2.0f * a, a * 2.0f);
+  EXPECT_FLOAT_EQ(a.dot(b), 32.0f);
+}
+
+TEST(Vec3Test, CrossProductIsOrthogonal) {
+  const Vec3f a{1, 2, 3}, b{-2, 0.5f, 4};
+  const Vec3f c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0f, 1e-5f);
+  EXPECT_NEAR(c.dot(b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3Test, NormAndNormalize) {
+  const Vec3f v{3, 4, 0};
+  EXPECT_FLOAT_EQ(v.norm(), 5.0f);
+  EXPECT_NEAR(v.normalized().norm(), 1.0f, 1e-6f);
+  EXPECT_EQ(Vec3f{}.normalized(), Vec3f{});
+}
+
+TEST(Vec3Test, IndexingMatchesFields) {
+  Vec3f v{7, 8, 9};
+  EXPECT_FLOAT_EQ(v[0], 7);
+  EXPECT_FLOAT_EQ(v[1], 8);
+  EXPECT_FLOAT_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_FLOAT_EQ(v.y, 42);
+}
+
+TEST(Vec3Test, MidpointAndLerp) {
+  const Vec3f a{0, 0, 0}, b{2, 4, 6};
+  EXPECT_EQ(midpoint(a, b), (Vec3f{1, 2, 3}));
+  EXPECT_EQ(lerp(a, b, 0.25f), (Vec3f{0.5f, 1, 1.5f}));
+}
+
+TEST(AabbTest, EmptyAndExpand) {
+  AABB box;
+  EXPECT_TRUE(box.empty());
+  box.expand(Vec3f{1, 2, 3});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.lo, box.hi);
+  box.expand(Vec3f{-1, 5, 0});
+  EXPECT_EQ(box.lo, (Vec3f{-1, 2, 0}));
+  EXPECT_EQ(box.hi, (Vec3f{1, 5, 3}));
+}
+
+TEST(AabbTest, ContainsAndDistance) {
+  AABB box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  EXPECT_TRUE(box.contains({0.5f, 0.5f, 0.5f}));
+  EXPECT_FALSE(box.contains({1.5f, 0.5f, 0.5f}));
+  EXPECT_FLOAT_EQ(box.distance2({0.5f, 0.5f, 0.5f}), 0.0f);
+  EXPECT_FLOAT_EQ(box.distance2({2, 0.5f, 0.5f}), 1.0f);
+  EXPECT_FLOAT_EQ(box.distance2({2, 2, 0.5f}), 2.0f);
+}
+
+TEST(AabbTest, ExpandWithBoxAndDiagonal) {
+  AABB a, b;
+  a.expand({0, 0, 0});
+  a.expand({1, 0, 0});
+  b.expand({3, 4, 0});
+  a.expand(b);
+  EXPECT_EQ(a.hi, (Vec3f{3, 4, 0}));
+  EXPECT_FLOAT_EQ(a.diagonal(), 5.0f);
+}
+
+TEST(ColorTest, AverageAndDistance) {
+  const Color a{10, 20, 30}, b{30, 40, 50};
+  EXPECT_EQ(average(a, b), (Color{20, 30, 40}));
+  EXPECT_FLOAT_EQ(color_distance2(a, b), 3 * 400.0f);
+  EXPECT_EQ(to_channel(-5.0f), 0);
+  EXPECT_EQ(to_channel(300.0f), 255);
+  EXPECT_EQ(to_channel(127.4f), 127);
+}
+
+TEST(HalfTest, RoundTripExactValues) {
+  // Values exactly representable in binary16 round-trip exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_FLOAT_EQ(half_to_float(float_to_half(v)), v) << v;
+  }
+}
+
+TEST(HalfTest, RoundingError) {
+  // Relative error of half precision is at most 2^-11.
+  for (float v : {0.1f, 0.3333f, 3.14159f, -2.71828f, 123.456f}) {
+    const float rt = half_to_float(float_to_half(v));
+    EXPECT_NEAR(rt, v, std::abs(v) * (1.0f / 2048.0f) + 1e-8f) << v;
+  }
+}
+
+TEST(HalfTest, SpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half_to_float(float_to_half(inf)), inf);
+  EXPECT_EQ(half_to_float(float_to_half(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(NAN))));
+  // Overflow saturates to infinity.
+  EXPECT_EQ(half_to_float(float_to_half(1e6f)), inf);
+  // Tiny values underflow to zero.
+  EXPECT_EQ(half_to_float(float_to_half(1e-9f)), 0.0f);
+}
+
+TEST(HalfTest, DenormalRange) {
+  // Smallest positive half denormal is 2^-24.
+  const float denorm = std::ldexp(1.0f, -24);
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(denorm)), denorm);
+  const float sub = std::ldexp(3.0f, -16);  // denormal in half
+  const float rt = half_to_float(float_to_half(sub));
+  EXPECT_NEAR(rt, sub, std::ldexp(1.0f, -24));
+}
+
+TEST(PointCloudTest, BasicAccessors) {
+  PointCloud pc;
+  EXPECT_TRUE(pc.empty());
+  pc.push_back({1, 2, 3}, Color{9, 9, 9});
+  pc.push_back({4, 5, 6});
+  EXPECT_EQ(pc.size(), 2u);
+  EXPECT_EQ(pc.position(0), (Vec3f{1, 2, 3}));
+  EXPECT_EQ(pc.color(0), (Color{9, 9, 9}));
+  EXPECT_EQ(pc.color(1), Color{});
+}
+
+TEST(PointCloudTest, FromPositionsPadsColors) {
+  auto pc = PointCloud::from_positions({{0, 0, 0}, {1, 1, 1}});
+  EXPECT_EQ(pc.size(), 2u);
+  EXPECT_EQ(pc.colors().size(), 2u);
+  auto pc2 = PointCloud::from_positions_colors({{0, 0, 0}, {1, 1, 1}},
+                                               {Color{1, 2, 3}});
+  EXPECT_EQ(pc2.colors().size(), 2u);
+  EXPECT_EQ(pc2.color(0), (Color{1, 2, 3}));
+}
+
+TEST(PointCloudTest, BoundsAndCentroid) {
+  auto pc = PointCloud::from_positions({{0, 0, 0}, {2, 2, 2}, {1, 1, 1}});
+  EXPECT_EQ(pc.bounds().lo, (Vec3f{0, 0, 0}));
+  EXPECT_EQ(pc.bounds().hi, (Vec3f{2, 2, 2}));
+  EXPECT_EQ(pc.centroid(), (Vec3f{1, 1, 1}));
+  EXPECT_EQ(PointCloud{}.centroid(), Vec3f{});
+}
+
+TEST(PointCloudTest, SubsetPreservesColors) {
+  PointCloud pc;
+  for (int i = 0; i < 10; ++i) {
+    pc.push_back({float(i), 0, 0}, Color{std::uint8_t(i), 0, 0});
+  }
+  const std::size_t idx[] = {1, 3, 5};
+  const PointCloud sub = pc.subset(idx);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.position(1).x, 3.0f);
+  EXPECT_EQ(sub.color(2).r, 5);
+}
+
+TEST(PointCloudTest, AppendConcatenates) {
+  auto a = PointCloud::from_positions({{0, 0, 0}});
+  auto b = PointCloud::from_positions({{1, 1, 1}, {2, 2, 2}});
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.position(2), (Vec3f{2, 2, 2}));
+}
+
+TEST(PointCloudTest, RandomDownsampleRatioApproximate) {
+  PointCloud pc(10000);
+  Rng rng(7);
+  const PointCloud half = pc.random_downsample(0.5f, rng);
+  EXPECT_NEAR(double(half.size()), 5000.0, 300.0);
+  const PointCloud none = pc.random_downsample(0.0f, rng);
+  EXPECT_TRUE(none.empty());
+  const PointCloud all = pc.random_downsample(1.0f, rng);
+  EXPECT_EQ(all.size(), pc.size());
+}
+
+TEST(PointCloudTest, RandomDownsampleExactCount) {
+  PointCloud pc(1000);
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    pc.position(i) = {float(i), 0, 0};
+  }
+  Rng rng(3);
+  const PointCloud sub = pc.random_downsample_exact(137, rng);
+  EXPECT_EQ(sub.size(), 137u);
+  // No duplicates: all x coordinates distinct.
+  std::vector<float> xs;
+  for (const auto& p : sub.positions()) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_EQ(std::adjacent_find(xs.begin(), xs.end()), xs.end());
+  EXPECT_EQ(pc.random_downsample_exact(5000, rng).size(), 1000u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(1000), b.next(1000));
+  }
+}
+
+TEST(RngTest, UniformRangeAndGaussianMoments) {
+  Rng rng(1);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float u = rng.uniform();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+    const float g = rng.gaussian(2.0f);
+    sum += g;
+    sum2 += double(g) * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sum2 / n, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,117 @@
+// Tests for the density-aware Chamfer metric and the rate-based ABR
+// baseline.
+#include <gtest/gtest.h>
+
+#include "src/abr/mpc.h"
+#include "src/core/rng.h"
+#include "src/metrics/chamfer.h"
+
+namespace volut {
+namespace {
+
+TEST(DensityAwareChamferTest, EqualsPlainCdWhenMatchingIsOneToOne) {
+  // A pure translation keeps nearest-neighbor matching bijective, so the
+  // clump penalty is zero and DCD == CD.
+  PointCloud a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back({float(i), 0, 0});
+    b.push_back({float(i), 0.25f, 0});
+  }
+  EXPECT_NEAR(density_aware_chamfer(a, b), chamfer_distance(a, b), 1e-9);
+}
+
+TEST(DensityAwareChamferTest, PenalizesClumpedPredictions) {
+  Rng rng(1);
+  PointCloud gt;
+  for (int i = 0; i < 400; ++i) {
+    gt.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  // "Spread": a small uniform jitter of the ground truth.
+  // "Clumped": all prediction points piled near one corner.
+  PointCloud spread, clumped;
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    spread.push_back(gt.position(i) + Vec3f{rng.gaussian(0.01f),
+                                            rng.gaussian(0.01f),
+                                            rng.gaussian(0.01f)});
+    clumped.push_back(Vec3f{0.05f, 0.05f, 0.05f} +
+                      Vec3f{rng.gaussian(0.02f), rng.gaussian(0.02f),
+                            rng.gaussian(0.02f)});
+  }
+  const double dcd_spread = density_aware_chamfer(spread, gt);
+  const double dcd_clump = density_aware_chamfer(clumped, gt);
+  EXPECT_LT(dcd_spread, dcd_clump);
+  // The density-aware penalty grows the clumped score beyond plain CD.
+  EXPECT_GT(dcd_clump, chamfer_distance(clumped, gt));
+}
+
+TEST(DensityAwareChamferTest, AlphaScalesThePenalty) {
+  Rng rng(2);
+  PointCloud gt, clumped;
+  for (int i = 0; i < 200; ++i) {
+    gt.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    clumped.push_back({0.5f + rng.gaussian(0.01f), 0.5f, 0.5f});
+  }
+  EXPECT_LT(density_aware_chamfer(clumped, gt, 0.5),
+            density_aware_chamfer(clumped, gt, 2.0));
+}
+
+TEST(DensityAwareChamferTest, EmptyCloudEdgeCases) {
+  PointCloud empty;
+  PointCloud one;
+  one.push_back({0, 0, 0});
+  EXPECT_DOUBLE_EQ(density_aware_chamfer(empty, empty), 0.0);
+  EXPECT_TRUE(std::isinf(density_aware_chamfer(one, empty)));
+}
+
+TEST(RateBasedAbrTest, FitsDownloadIntoChunkBudget) {
+  RateBasedAbr abr(/*safety=*/0.85);
+  AbrContext ctx;
+  ctx.throughput_mbps = 16.0;  // 2 MB/s -> 1.7 MB/s with safety
+  ctx.full_chunk_bytes = 4e6;
+  ctx.chunk_seconds = 1.0;
+  const AbrDecision d = abr.decide(ctx);
+  // bytes(r)/rate == 1 s  =>  r = 1.7/4 = 0.425.
+  EXPECT_NEAR(d.density_ratio, 0.425, 0.01);
+}
+
+TEST(RateBasedAbrTest, AccountsForSrCompute) {
+  RateBasedAbr abr(0.85);
+  AbrContext fast, slow;
+  fast.throughput_mbps = slow.throughput_mbps = 16.0;
+  fast.full_chunk_bytes = slow.full_chunk_bytes = 4e6;
+  slow.sr_seconds_per_chunk_full = 0.5;
+  EXPECT_LT(abr.decide(slow).density_ratio, abr.decide(fast).density_ratio);
+}
+
+TEST(RateBasedAbrTest, ClampsToValidRange) {
+  RateBasedAbr abr;
+  AbrContext starved;
+  starved.throughput_mbps = 0.01;
+  starved.full_chunk_bytes = 100e6;
+  const AbrDecision lo = abr.decide(starved);
+  EXPECT_GE(lo.density_ratio, 0.05);
+
+  AbrContext plentiful;
+  plentiful.throughput_mbps = 10000.0;
+  plentiful.full_chunk_bytes = 1e6;
+  EXPECT_DOUBLE_EQ(abr.decide(plentiful).density_ratio, 1.0);
+}
+
+TEST(RateBasedAbrTest, NoLookahead_MpcWinsUnderBufferPressure) {
+  // With an empty buffer, MPC's horizon model backs off harder than the
+  // myopic rate rule.
+  QoeConfig qoe;
+  ContinuousMpcAbr mpc(qoe);
+  RateBasedAbr rate;
+  AbrContext ctx;
+  ctx.throughput_mbps = 10.0;
+  ctx.full_chunk_bytes = 2e6;
+  ctx.buffer_seconds = 0.0;
+  ctx.prev_density_ratio = 0.6;
+  const double r_mpc = mpc.decide(ctx).density_ratio;
+  const double r_rate = rate.decide(ctx).density_ratio;
+  EXPECT_LE(r_mpc, r_rate + 0.05);
+}
+
+}  // namespace
+}  // namespace volut

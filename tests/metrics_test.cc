@@ -1,0 +1,176 @@
+// Tests for Chamfer distance, the point-splat renderer, PSNR and stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "src/core/rng.h"
+#include "src/metrics/chamfer.h"
+#include "src/metrics/renderer.h"
+#include "src/metrics/stats.h"
+
+namespace volut {
+namespace {
+
+TEST(ChamferTest, IdenticalCloudsHaveZeroDistance) {
+  Rng rng(1);
+  PointCloud pc;
+  for (int i = 0; i < 200; ++i) {
+    pc.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  EXPECT_DOUBLE_EQ(chamfer_distance(pc, pc), 0.0);
+}
+
+TEST(ChamferTest, KnownTranslation) {
+  auto a = PointCloud::from_positions({{0, 0, 0}, {1, 0, 0}});
+  auto b = PointCloud::from_positions({{0, 0.5f, 0}, {1, 0.5f, 0}});
+  // Every nearest-neighbor distance is exactly 0.5 in both directions.
+  EXPECT_NEAR(chamfer_distance(a, b), 1.0, 1e-6);
+}
+
+TEST(ChamferTest, AsymmetricDensity) {
+  // b is a superset of a: directed a->b is zero, b->a is not.
+  auto a = PointCloud::from_positions({{0, 0, 0}});
+  auto b = PointCloud::from_positions({{0, 0, 0}, {2, 0, 0}});
+  EXPECT_DOUBLE_EQ(directed_chamfer(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(directed_chamfer(b, a), 1.0);
+}
+
+TEST(ChamferTest, EmptyCloudEdgeCases) {
+  PointCloud empty;
+  auto a = PointCloud::from_positions({{0, 0, 0}});
+  EXPECT_DOUBLE_EQ(directed_chamfer(empty, a), 0.0);
+  EXPECT_TRUE(std::isinf(directed_chamfer(a, empty)));
+}
+
+TEST(ChamferTest, NormalizedIsScaleInvariant) {
+  Rng rng(2);
+  PointCloud a, b;
+  for (int i = 0; i < 100; ++i) {
+    const Vec3f p{rng.uniform(), rng.uniform(), rng.uniform()};
+    a.push_back(p);
+    b.push_back(p + Vec3f{0.01f, 0, 0});
+  }
+  PointCloud a10, b10;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a10.push_back(a.position(i) * 10.0f);
+    b10.push_back(b.position(i) * 10.0f);
+  }
+  EXPECT_NEAR(normalized_chamfer(b, a), normalized_chamfer(b10, a10), 1e-6);
+}
+
+TEST(RendererTest, SinglePointProjectsToImageCenter) {
+  PointCloud pc;
+  pc.push_back({0, 0, -2}, Color{255, 0, 0});
+  Camera cam;  // identity pose looks down -Z
+  cam.width = 64;
+  cam.height = 64;
+  const Image img = render_point_cloud(pc, cam);
+  EXPECT_EQ(img.at(32, 32), (Color{255, 0, 0}));
+  EXPECT_EQ(img.at(0, 0), Color{});
+}
+
+TEST(RendererTest, ZBufferKeepsNearPoint) {
+  PointCloud pc;
+  pc.push_back({0, 0, -5}, Color{0, 255, 0});  // far
+  pc.push_back({0, 0, -2}, Color{255, 0, 0});  // near
+  Camera cam;
+  cam.width = 32;
+  cam.height = 32;
+  const Image img = render_point_cloud(pc, cam);
+  EXPECT_EQ(img.at(16, 16), (Color{255, 0, 0}));
+}
+
+TEST(RendererTest, PointsBehindCameraAreCulled) {
+  PointCloud pc;
+  pc.push_back({0, 0, 2}, Color{255, 255, 255});  // behind (+Z)
+  Camera cam;
+  cam.width = 16;
+  cam.height = 16;
+  const Image img = render_point_cloud(pc, cam);
+  for (const Color& c : img.pixels()) EXPECT_EQ(c, Color{});
+}
+
+TEST(RendererTest, PoseYawRotatesView) {
+  PointCloud pc;
+  pc.push_back({2, 0, 0}, Color{9, 9, 9});  // to the right of origin
+  Camera cam;
+  cam.width = 64;
+  cam.height = 64;
+  cam.pose.yaw = float(M_PI) / 2.0f;  // face +X
+  const Image img = render_point_cloud(pc, cam);
+  EXPECT_EQ(img.at(32, 32), (Color{9, 9, 9}));
+}
+
+TEST(PsnrTest, IdenticalImagesAreInfinite) {
+  Image a(8, 8, Color{10, 20, 30});
+  EXPECT_TRUE(std::isinf(image_psnr(a, a)));
+}
+
+TEST(PsnrTest, KnownUniformError) {
+  Image a(4, 4, Color{100, 100, 100});
+  Image b(4, 4, Color{110, 110, 110});
+  // MSE = 100 per channel -> PSNR = 10*log10(255^2/100) ~= 28.13 dB.
+  EXPECT_NEAR(image_psnr(a, b), 28.13, 0.01);
+}
+
+TEST(PsnrTest, MismatchedSizesReturnZero) {
+  Image a(4, 4), b(8, 8);
+  EXPECT_DOUBLE_EQ(image_psnr(a, b), 0.0);
+}
+
+TEST(PsnrTest, RenderPsnrHigherForCloserClouds) {
+  Rng rng(3);
+  PointCloud gt;
+  for (int i = 0; i < 2000; ++i) {
+    gt.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1), -3 + rng.uniform()},
+                 Color{std::uint8_t(rng.next(255)), 100, 100});
+  }
+  PointCloud close = gt, far = gt;
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    close.position(i) += Vec3f{rng.gaussian(0.005f), rng.gaussian(0.005f), 0};
+    far.position(i) += Vec3f{rng.gaussian(0.08f), rng.gaussian(0.08f), 0};
+  }
+  Camera cam;
+  cam.width = 96;
+  cam.height = 96;
+  EXPECT_GT(render_psnr(close, gt, cam), render_psnr(far, gt, cam));
+}
+
+TEST(ImageTest, SavePpmWritesFile) {
+  Image img(4, 2, Color{1, 2, 3});
+  const auto path = std::filesystem::temp_directory_path() / "volut_test.ppm";
+  ASSERT_TRUE(img.save_ppm(path.string()));
+  EXPECT_EQ(std::filesystem::file_size(path), 11u + 4 * 2 * 3);
+  std::filesystem::remove(path);
+}
+
+TEST(StatsTest, RunningStatsMoments) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(harmonic_mean({4, 4, 4}), 4.0);
+  EXPECT_NEAR(harmonic_mean({1, 2}), 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean({1, 0}), 0.0);
+  // Harmonic mean is dominated by slow samples — the property that makes it
+  // a conservative throughput predictor.
+  EXPECT_LT(harmonic_mean({1, 100}), 2.1);
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,81 @@
+// Tests for the thread pool and device profiles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/platform/device_profile.h"
+#include "src/platform/thread_pool.h"
+#include "src/platform/timer.h"
+
+namespace volut {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(4);
+  int total = 0;  // no synchronization: must run on the calling thread
+  pool.parallel_for(
+      10, [&](std::size_t b, std::size_t e) { total += int(e - b); },
+      /*min_grain=*/256);
+  EXPECT_EQ(total, 10);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerCountUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(DeviceProfileTest, ProfilesAreDistinct) {
+  const auto desktop = DeviceProfile::desktop();
+  const auto mobile = DeviceProfile::orange_pi();
+  EXPECT_LT(desktop.latency_scale, mobile.latency_scale);
+  EXPECT_EQ(mobile.threads, 4u);
+  EXPECT_GT(mobile.memory_budget_bytes, 0u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.elapsed_us(), 0.0);
+  EXPECT_GE(t.elapsed_ms() * 1000.0, t.elapsed_us() * 0.5);
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,170 @@
+// Tests for the DASH-like wire protocol, the in-memory transport, and the
+// end-to-end client/server endpoints (§6).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/metrics/chamfer.h"
+#include "src/stream/endpoint.h"
+#include "src/stream/protocol.h"
+
+namespace volut {
+namespace {
+
+TEST(FrameParserTest, RoundTripSingleMessage) {
+  Message m;
+  m.type = MessageType::kChunkRequest;
+  m.body = {1, 2, 3, 4, 5};
+  const auto bytes = frame_message(m);
+  FrameParser parser;
+  parser.feed(bytes);
+  const auto out = parser.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, MessageType::kChunkRequest);
+  EXPECT_EQ(out->body, m.body);
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(FrameParserTest, HandlesFragmentedDelivery) {
+  Message m;
+  m.type = MessageType::kManifestRequest;
+  m.body.assign(100, 7);
+  const auto bytes = frame_message(m);
+  FrameParser parser;
+  // Feed one byte at a time; the message completes only at the last byte.
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    parser.feed(&bytes[i], 1);
+    EXPECT_FALSE(parser.next().has_value()) << i;
+  }
+  parser.feed(&bytes.back(), 1);
+  EXPECT_TRUE(parser.next().has_value());
+}
+
+TEST(FrameParserTest, HandlesCoalescedMessages) {
+  Message a, b;
+  a.type = MessageType::kManifestRequest;
+  a.body = {1};
+  b.type = MessageType::kChunkRequest;
+  b.body = {2, 3};
+  auto bytes = frame_message(a);
+  const auto more = frame_message(b);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+  FrameParser parser;
+  parser.feed(bytes);
+  EXPECT_EQ(parser.next()->type, MessageType::kManifestRequest);
+  EXPECT_EQ(parser.next()->type, MessageType::kChunkRequest);
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(FrameParserTest, BadMagicThrows) {
+  std::vector<std::uint8_t> junk(32, 0xAB);
+  FrameParser parser;
+  parser.feed(junk);
+  EXPECT_THROW(parser.next(), std::runtime_error);
+}
+
+TEST(ProtocolTest, PodBodyRoundTrips) {
+  const ChunkRequest req{7, 42, 0.31f};
+  const ChunkRequest back = decode_chunk_request(encode_chunk_request(req));
+  EXPECT_EQ(back.video_id, 7u);
+  EXPECT_EQ(back.chunk_index, 42u);
+  EXPECT_FLOAT_EQ(back.density_ratio, 0.31f);
+
+  Manifest manifest;
+  manifest.total_chunks = 99;
+  manifest.full_chunk_bytes = 123456789ull;
+  const Manifest mback = decode_manifest(encode_manifest(manifest));
+  EXPECT_EQ(mback.total_chunks, 99u);
+  EXPECT_EQ(mback.full_chunk_bytes, 123456789ull);
+}
+
+TEST(ProtocolTest, TypeMismatchThrows) {
+  const Message wrong = encode_chunk_request({1, 2, 0.5f});
+  EXPECT_THROW(decode_manifest(wrong), std::runtime_error);
+}
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto [client_end, server_end] = InMemoryTransport::make_pair();
+    client_transport_ = std::move(client_end);
+    server_transport_ = std::move(server_end);
+    VideoSpec spec = VideoSpec::loot(0.01);
+    spec.frame_count = 600;
+    spec.loops = 1;
+    server_ = std::make_unique<ServerEndpoint>(spec, server_transport_.get());
+    auto lut = std::make_shared<RefinementLut>(LutSpec{4, 16});
+    InterpolationConfig interp;
+    interp.dilation = 2;
+    client_ = std::make_unique<VolutClient>(client_transport_.get(), lut,
+                                            interp);
+  }
+
+  std::unique_ptr<InMemoryTransport> client_transport_;
+  std::unique_ptr<InMemoryTransport> server_transport_;
+  std::unique_ptr<ServerEndpoint> server_;
+  std::unique_ptr<VolutClient> client_;
+};
+
+TEST_F(EndpointTest, ManifestDescribesVideo) {
+  const Manifest manifest = client_->fetch_manifest(3);
+  EXPECT_EQ(manifest.video_id, 3u);
+  EXPECT_EQ(manifest.frames_per_chunk, 30u);
+  EXPECT_EQ(manifest.total_chunks, 20u);  // 600 frames at 30 fps, 1 s chunks
+  EXPECT_GT(manifest.full_chunk_bytes, 0u);
+}
+
+TEST_F(EndpointTest, ChunkFetchDecodesAndUpsamples) {
+  const ClientChunk chunk = client_->fetch_chunk(3, 2, 0.5f);
+  EXPECT_EQ(chunk.index, 2u);
+  ASSERT_FALSE(chunk.frames.empty());
+  ASSERT_EQ(chunk.frames.size(), chunk.sr_frames.size());
+  const std::size_t full = VideoSpec::loot(0.01).points_per_frame;
+  // Received ~50% density; SR restores ~full density.
+  EXPECT_NEAR(double(chunk.frames[0].size()), double(full) * 0.5,
+              double(full) * 0.15);
+  EXPECT_NEAR(double(chunk.sr_frames[0].size()), double(full),
+              double(full) * 0.2);
+  EXPECT_EQ(server_->chunks_served(), 1u);
+}
+
+TEST_F(EndpointTest, LowerDensityMeansFewerWireBytes) {
+  const ClientChunk low = client_->fetch_chunk(3, 0, 0.25f);
+  const ClientChunk high = client_->fetch_chunk(3, 0, 1.0f);
+  EXPECT_LT(low.wire_bytes, high.wire_bytes);
+  EXPECT_NEAR(double(low.wire_bytes) / double(high.wire_bytes), 0.25, 0.1);
+}
+
+TEST_F(EndpointTest, SrRecoversGeometry) {
+  // The SR frames must be geometrically closer to full-density content than
+  // the received low-density frames are (coverage-wise).
+  VideoSpec spec = VideoSpec::loot(0.01);
+  spec.frame_count = 600;
+  spec.loops = 1;
+  const VideoServer reference(spec);
+  const PointCloud gt =
+      const_cast<VideoServer&>(reference).ground_truth_frame(1, 1.0);
+  const ClientChunk chunk = client_->fetch_chunk(3, 1, 0.4f);
+  ASSERT_FALSE(chunk.frames.empty());
+  const double cover_low = directed_chamfer(gt, chunk.frames[0]);
+  const double cover_sr = directed_chamfer(gt, chunk.sr_frames[0]);
+  EXPECT_LT(cover_sr, cover_low);
+}
+
+TEST_F(EndpointTest, InvalidRequestsRejected) {
+  EXPECT_THROW(client_->fetch_chunk(3, 99999, 0.5f), std::runtime_error);
+  EXPECT_THROW(client_->fetch_chunk(3, 0, 1.5f), std::runtime_error);
+  EXPECT_THROW(client_->fetch_chunk(3, 0, 0.0f), std::runtime_error);
+}
+
+TEST_F(EndpointTest, TracksBytesReceived) {
+  EXPECT_EQ(client_->total_bytes_received(), 0u);
+  client_->fetch_manifest(3);
+  const std::size_t after_manifest = client_->total_bytes_received();
+  EXPECT_GT(after_manifest, 0u);
+  client_->fetch_chunk(3, 0, 0.5f);
+  EXPECT_GT(client_->total_bytes_received(), after_manifest);
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,252 @@
+// Tests for kd-tree, two-layer octree and neighbor reuse. The octree and
+// kd-tree are verified against brute force on randomized clouds
+// (parameterized over size and k).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/vec3.h"
+#include "src/platform/thread_pool.h"
+#include "src/spatial/kdtree.h"
+#include "src/spatial/knn.h"
+#include "src/spatial/octree.h"
+
+namespace volut {
+namespace {
+
+std::vector<Vec3f> random_points(std::size_t n, Rng& rng, float extent = 1.0f) {
+  std::vector<Vec3f> pts(n);
+  for (Vec3f& p : pts) {
+    p = {rng.uniform(-extent, extent), rng.uniform(-extent, extent),
+         rng.uniform(-extent, extent)};
+  }
+  return pts;
+}
+
+std::vector<Neighbor> brute_knn(const std::vector<Vec3f>& pts,
+                                const Vec3f& q, std::size_t k,
+                                std::size_t exclude = SIZE_MAX) {
+  std::vector<Neighbor> all;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i == exclude) continue;
+    all.push_back({i, distance2(q, pts[i])});
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(NeighborHeapTest, KeepsKSmallest) {
+  NeighborHeap heap(3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    heap.push(i, float(10 - i));  // distances 10..1
+  }
+  const auto sorted = heap.take_sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_FLOAT_EQ(sorted[0].dist2, 1.0f);
+  EXPECT_FLOAT_EQ(sorted[1].dist2, 2.0f);
+  EXPECT_FLOAT_EQ(sorted[2].dist2, 3.0f);
+}
+
+TEST(NeighborHeapTest, WorstDistInfiniteUntilFull) {
+  NeighborHeap heap(2);
+  EXPECT_TRUE(std::isinf(heap.worst_dist2()));
+  heap.push(0, 1.0f);
+  EXPECT_TRUE(std::isinf(heap.worst_dist2()));
+  heap.push(1, 2.0f);
+  EXPECT_FLOAT_EQ(heap.worst_dist2(), 2.0f);
+}
+
+TEST(KdTreeTest, EmptyAndSinglePoint) {
+  KdTree empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.knn({0, 0, 0}, 3).empty());
+
+  const std::vector<Vec3f> one = {{1, 2, 3}};
+  KdTree tree(one);
+  const auto nn = tree.knn({0, 0, 0}, 5);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].index, 0u);
+}
+
+TEST(KdTreeTest, NearestOnGrid) {
+  std::vector<Vec3f> pts;
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) pts.push_back({float(x), float(y), 0});
+  }
+  KdTree tree(pts);
+  const Neighbor n = tree.nearest({2.2f, 3.1f, 0});
+  EXPECT_EQ(pts[n.index], (Vec3f{2, 3, 0}));
+}
+
+TEST(KdTreeTest, RadiusQueryMatchesBruteForce) {
+  Rng rng(11);
+  const auto pts = random_points(500, rng);
+  KdTree tree(pts);
+  const Vec3f q{0.1f, -0.2f, 0.3f};
+  const float r = 0.4f;
+  const auto got = tree.radius(q, r);
+  std::size_t expected = 0;
+  for (const auto& p : pts) {
+    if (distance(p, q) <= r) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].dist2, got[i].dist2);
+  }
+}
+
+TEST(KdTreeTest, HandlesCoincidentPoints) {
+  std::vector<Vec3f> pts(100, Vec3f{1, 1, 1});
+  KdTree tree(pts);
+  const auto nn = tree.knn({1, 1, 1}, 5);
+  ASSERT_EQ(nn.size(), 5u);
+  for (const auto& n : nn) EXPECT_FLOAT_EQ(n.dist2, 0.0f);
+}
+
+struct KnnCase {
+  std::size_t n;
+  std::size_t k;
+};
+
+class KnnAgreementTest : public ::testing::TestWithParam<KnnCase> {};
+
+TEST_P(KnnAgreementTest, KdTreeMatchesBruteForce) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 31 + k);
+  const auto pts = random_points(n, rng);
+  KdTree tree(pts);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3f q{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const auto got = tree.knn(q, k);
+    const auto want = brute_knn(pts, q, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_FLOAT_EQ(got[i].dist2, want[i].dist2) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(KnnAgreementTest, OctreeMatchesBruteForce) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 17 + k);
+  const auto pts = random_points(n, rng);
+  TwoLayerOctree octree(pts);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3f q{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const auto got = octree.knn(q, k);
+    const auto want = brute_knn(pts, q, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_FLOAT_EQ(got[i].dist2, want[i].dist2) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnAgreementTest,
+    ::testing::Values(KnnCase{16, 1}, KnnCase{16, 4}, KnnCase{100, 3},
+                      KnnCase{100, 8}, KnnCase{1000, 4}, KnnCase{1000, 16},
+                      KnnCase{5000, 8}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(OctreeTest, BatchKnnExcludesSelfAndMatchesPerQuery) {
+  Rng rng(5);
+  const auto pts = random_points(800, rng);
+  TwoLayerOctree octree(pts);
+  const auto batch = octree.batch_knn(4, nullptr);
+  ASSERT_EQ(batch.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); i += 97) {
+    const auto want = brute_knn(pts, pts[i], 4, /*exclude=*/i);
+    ASSERT_EQ(batch[i].size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_FLOAT_EQ(batch[i][j].dist2, want[j].dist2);
+      EXPECT_NE(batch[i][j].index, i);
+    }
+  }
+}
+
+TEST(OctreeTest, BatchKnnParallelMatchesSerial) {
+  Rng rng(6);
+  const auto pts = random_points(2000, rng);
+  TwoLayerOctree octree(pts);
+  ThreadPool pool(4);
+  const auto serial = octree.batch_knn(4, nullptr);
+  const auto parallel = octree.batch_knn(4, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), parallel[i].size());
+    for (std::size_t j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(serial[i][j].index, parallel[i][j].index);
+    }
+  }
+}
+
+TEST(OctreeTest, CellAssignmentCoversAllPoints) {
+  Rng rng(7);
+  const auto pts = random_points(1000, rng);
+  TwoLayerOctree octree(pts);
+  std::size_t total = 0;
+  for (int c = 0; c < TwoLayerOctree::kNumCells; ++c) {
+    total += octree.cell_size(c);
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(OctreeTest, DegenerateFlatCloud) {
+  // All points in a plane: cell extent on one axis collapses.
+  std::vector<Vec3f> pts;
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(-1, 1), 0.0f, rng.uniform(-1, 1)});
+  }
+  TwoLayerOctree octree(pts);
+  const auto nn = octree.knn({0, 0, 0}, 5);
+  const auto want = brute_knn(pts, {0, 0, 0}, 5);
+  ASSERT_EQ(nn.size(), 5u);
+  EXPECT_FLOAT_EQ(nn[0].dist2, want[0].dist2);
+}
+
+TEST(MergeAndPruneTest, RecoversTrueNeighborsOfMidpoint) {
+  Rng rng(9);
+  const auto pts = random_points(400, rng);
+  KdTree tree(pts);
+  int exact_hits = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const std::size_t pi = rng.next(pts.size());
+    const auto np = tree.knn(pts[pi], 8);
+    const std::size_t qi = np[1].index;  // a close-by partner
+    const Vec3f mid = midpoint(pts[pi], pts[qi]);
+
+    const auto nq = tree.knn(pts[qi], 8);
+    auto merged = merge_and_prune(np, nq, mid, pts, 4);
+    const auto want = brute_knn(pts, mid, 4);
+    ASSERT_EQ(merged.size(), 4u);
+    bool all_match = true;
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (merged[j].index != want[j].index) all_match = false;
+    }
+    exact_hits += all_match;
+  }
+  // Eq. 2 is an approximation; it should recover the exact set in the vast
+  // majority of cases when parents' lists are reasonably wide.
+  EXPECT_GE(exact_hits, trials * 7 / 10);
+}
+
+TEST(MergeAndPruneTest, DeduplicatesSharedCandidates) {
+  const std::vector<Vec3f> pts = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  const std::vector<Neighbor> a = {{0, 0.f}, {1, 0.f}};
+  const std::vector<Neighbor> b = {{1, 0.f}, {2, 0.f}};
+  const auto merged = merge_and_prune(a, b, {1, 0, 0}, pts, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].index, 1u);  // distance 0
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,239 @@
+// Property-style tests (parameterized sweeps) over the SR stack's
+// invariants: interpolation across (k, dilation, ratio) grids, LUT
+// construction across (n, bins) grids, and codec round-trips across cloud
+// shapes. These catch configuration-dependent regressions that single-config
+// unit tests miss.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/codec/codec.h"
+#include "src/core/rng.h"
+#include "src/data/synthetic_video.h"
+#include "src/sr/lut_builder.h"
+#include "src/sr/pipeline.h"
+#include "src/sr/position_encoding.h"
+
+namespace volut {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Interpolation invariants over a (k, dilation, ratio) grid.
+// ---------------------------------------------------------------------------
+
+struct InterpCase {
+  std::size_t k;
+  int dilation;
+  double ratio;
+  bool octree;
+  bool reuse;
+};
+
+class InterpolationPropertyTest
+    : public ::testing::TestWithParam<InterpCase> {};
+
+TEST_P(InterpolationPropertyTest, StructuralInvariants) {
+  const InterpCase param = GetParam();
+  Rng rng(77);
+  PointCloud input;
+  for (int i = 0; i < 400; ++i) {
+    input.push_back({rng.uniform(-1, 1), rng.uniform(0, 2),
+                     rng.uniform(-1, 1)},
+                    Color{std::uint8_t(i & 0xFF), 0, 0});
+  }
+  InterpolationConfig cfg;
+  cfg.k = param.k;
+  cfg.dilation = param.dilation;
+  cfg.use_octree = param.octree;
+  cfg.reuse_neighbors = param.reuse;
+  const InterpolationResult result = interpolate(input, param.ratio, cfg);
+
+  // (1) Point count hits the requested ratio.
+  EXPECT_NEAR(double(result.cloud.size()), 400.0 * param.ratio, 2.0);
+  // (2) Originals preserved verbatim at the front.
+  for (std::size_t i = 0; i < input.size(); i += 31) {
+    EXPECT_EQ(result.cloud.position(i), input.position(i));
+  }
+  // (3) Every new point is the midpoint of its recorded parents.
+  for (std::size_t j = 0; j < result.new_count(); j += 17) {
+    const auto [p, q] = result.parents[j];
+    EXPECT_LT(distance(result.cloud.position(result.original_count + j),
+                       midpoint(input.position(p), input.position(q))),
+              1e-6f);
+    EXPECT_NE(p, q);
+  }
+  // (4) Neighbor lists are sorted by distance and contain no self-loops
+  //     to out-of-range indices.
+  for (std::size_t j = 0; j < result.new_count(); j += 23) {
+    const auto& nbrs = result.new_neighbors[j];
+    EXPECT_LE(nbrs.size(), std::max<std::size_t>(2, param.k));
+    for (std::size_t s = 1; s < nbrs.size(); ++s) {
+      EXPECT_LE(nbrs[s - 1].dist2, nbrs[s].dist2);
+    }
+    for (const Neighbor& n : nbrs) EXPECT_LT(n.index, input.size());
+  }
+  // (5) New points stay inside a modestly inflated input bounding box
+  //     (midpoints cannot escape the convex hull).
+  AABB box = input.bounds();
+  for (std::size_t j = 0; j < result.new_count(); j += 11) {
+    EXPECT_TRUE(box.contains(result.cloud.position(result.original_count + j)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InterpolationPropertyTest,
+    ::testing::Values(InterpCase{3, 1, 1.5, true, true},
+                      InterpCase{4, 1, 2.0, false, false},
+                      InterpCase{4, 2, 2.0, true, true},
+                      InterpCase{4, 2, 3.7, true, false},
+                      InterpCase{4, 3, 4.0, true, true},
+                      InterpCase{5, 2, 6.0, true, true},
+                      InterpCase{6, 2, 2.0, false, true},
+                      InterpCase{4, 4, 8.0, true, true}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.k) + "_d" +
+             std::to_string(info.param.dilation) + "_r" +
+             std::to_string(int(info.param.ratio * 10)) +
+             (info.param.octree ? "_oct" : "_kd") +
+             (info.param.reuse ? "_reuse" : "_fresh");
+    });
+
+// ---------------------------------------------------------------------------
+// LUT invariants over an (n, bins) grid.
+// ---------------------------------------------------------------------------
+
+struct LutCase {
+  std::size_t n;
+  int bins;
+};
+
+class LutPropertyTest : public ::testing::TestWithParam<LutCase> {};
+
+TEST_P(LutPropertyTest, EntriesAndIndexingConsistent) {
+  const auto [n, bins] = GetParam();
+  const LutSpec spec{n, bins};
+  // Entry count b^n per axis; index of the all-max sequence is the last slot.
+  std::vector<std::uint16_t> max_seq(n, std::uint16_t(bins - 1));
+  EXPECT_EQ(axis_index(max_seq, bins), spec.entries_per_axis() - 1);
+  std::vector<std::uint16_t> zero_seq(n, 0);
+  EXPECT_EQ(axis_index(zero_seq, bins), 0u);
+  EXPECT_EQ(spec.bytes(), spec.total_entries() * 2);
+}
+
+TEST_P(LutPropertyTest, LookupNeverExceedsRadius) {
+  const auto [n, bins] = GetParam();
+  RefinementLut lut(LutSpec{n, bins});
+  Rng rng(n * 100 + std::uint64_t(bins));
+  // Fill a sample of entries with extreme normalized offsets (+-1).
+  for (int i = 0; i < 200; ++i) {
+    lut.set(int(rng.next(3)), rng.next(lut.spec().entries_per_axis()),
+            rng.bernoulli(0.5f) ? 1.0f : -1.0f);
+  }
+  // Random neighborhoods: |offset| per axis must be <= radius.
+  std::vector<Vec3f> pts(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (Vec3f& p : pts) {
+      p = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+    std::vector<Neighbor> nbrs;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      nbrs.push_back({i, distance2(pts[0], pts[i])});
+    }
+    const auto enc = encode_neighborhood(pts[0], nbrs, pts, n, bins);
+    const Vec3f offset = lut.lookup(enc);
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_LE(std::abs(offset[a]), enc.radius * 1.0001f);
+    }
+  }
+}
+
+TEST_P(LutPropertyTest, DistilledLutIsDeterministic) {
+  const auto [n, bins] = GetParam();
+  if (std::pow(double(bins), double(n)) > 2e6) GTEST_SKIP();
+  RefineNetConfig cfg;
+  cfg.receptive_field = n;
+  cfg.hidden = {8};
+  cfg.seed = 42;
+  const RefineNet net(cfg);
+  const RefinementLut a = distill_lut(net, LutSpec{n, bins});
+  const RefinementLut b = distill_lut(net, LutSpec{n, bins});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t idx = rng.next(a.spec().entries_per_axis());
+    EXPECT_EQ(a.get(0, idx), b.get(0, idx));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LutPropertyTest,
+                         ::testing::Values(LutCase{2, 8}, LutCase{3, 8},
+                                           LutCase{3, 16}, LutCase{4, 8},
+                                           LutCase{4, 16}, LutCase{4, 32},
+                                           LutCase{5, 8}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_b" +
+                                  std::to_string(info.param.bins);
+                         });
+
+// ---------------------------------------------------------------------------
+// Codec round-trip across cloud shapes.
+// ---------------------------------------------------------------------------
+
+class CodecPropertyTest : public ::testing::TestWithParam<VideoId> {};
+
+TEST_P(CodecPropertyTest, RoundTripErrorWithinQuantizationBound) {
+  const SyntheticVideo video(VideoSpec::by_id(GetParam(), 0.01));
+  const PointCloud frame = video.frame(2);
+  const PointCloud back = decode_frame(encode_frame(frame));
+  ASSERT_EQ(back.size(), frame.size());
+  const Vec3f ext = frame.bounds().extent();
+  const float bound =
+      std::max({ext.x, ext.y, ext.z}) / 65535.0f * 2.0f;  // per-axis bin + pad
+  for (std::size_t i = 0; i < frame.size(); i += 41) {
+    EXPECT_LE(distance(back.position(i), frame.position(i)),
+              bound * 1.8f);  // sqrt(3) axes combined
+    EXPECT_EQ(back.color(i), frame.color(i));
+  }
+}
+
+TEST_P(CodecPropertyTest, WireSizeIsExactlyNinePerPoint) {
+  const SyntheticVideo video(VideoSpec::by_id(GetParam(), 0.01));
+  const PointCloud frame = video.frame(0);
+  const EncodedFrame encoded = encode_frame(frame);
+  EXPECT_EQ(encoded.payload.size(), frame.size() * kBytesPerPoint);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVideos, CodecPropertyTest,
+                         ::testing::Values(VideoId::kDress, VideoId::kLoot,
+                                           VideoId::kHaggle, VideoId::kLab),
+                         [](const auto& info) {
+                           return video_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// End-to-end SR determinism: identical inputs + config => identical output.
+// ---------------------------------------------------------------------------
+
+TEST(SrDeterminismTest, PipelineIsBitwiseReproducible) {
+  const SyntheticVideo video(VideoSpec::haggle(0.02));
+  Rng rng(5);
+  const PointCloud low = video.frame(1).random_downsample(0.5f, rng);
+  auto lut = std::make_shared<RefinementLut>(LutSpec{4, 16});
+  Rng fill(9);
+  for (int i = 0; i < 500; ++i) {
+    lut->set(int(fill.next(3)), fill.next(lut->spec().entries_per_axis()),
+             fill.uniform(-0.3f, 0.3f));
+  }
+  InterpolationConfig interp;
+  interp.dilation = 2;
+  SrPipeline pipeline(lut, interp);
+  const SrResult a = pipeline.upsample(low, 2.5);
+  const SrResult b = pipeline.upsample(low, 2.5);
+  ASSERT_EQ(a.cloud.size(), b.cloud.size());
+  for (std::size_t i = 0; i < a.cloud.size(); ++i) {
+    ASSERT_EQ(a.cloud.position(i), b.cloud.position(i));
+    ASSERT_EQ(a.cloud.color(i), b.cloud.color(i));
+  }
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,214 @@
+// Tests for the server and the end-to-end session simulator (the engine
+// behind Figures 12-14), plus baseline behaviors.
+#include <gtest/gtest.h>
+
+#include "src/baselines/yuzu.h"
+#include "src/stream/server.h"
+#include "src/stream/session.h"
+
+namespace volut {
+namespace {
+
+VideoSpec small_video() {
+  VideoSpec spec = VideoSpec::dress(0.01);
+  // Sessions need enough chunks for ABR dynamics; keep frames at full
+  // duration while the per-frame point count stays tiny.
+  spec.frame_count = 1500;
+  spec.loops = 1;
+  return spec;
+}
+
+TEST(ServerTest, ChunkGeometry) {
+  VideoServer server(small_video());
+  EXPECT_EQ(server.frames_per_chunk(1.0), 30u);
+  EXPECT_GT(server.chunk_count(1.0), 0u);
+  // Bytes scale linearly with density.
+  const double full = server.chunk_bytes(1.0, 1.0);
+  const double half = server.chunk_bytes(0.5, 1.0);
+  EXPECT_NEAR(half / full, 0.5, 0.01);
+}
+
+TEST(ServerTest, FullBitrateMatchesPaperScale) {
+  // 200K points at 30 FPS should land in the hundreds of Mbps (the paper
+  // quotes 720 Mbps for high-quality content).
+  VideoSpec spec = VideoSpec::dress();
+  spec.points_per_frame = 200'000;
+  VideoServer server(spec);
+  EXPECT_GT(server.full_bitrate_mbps(), 300.0);
+  EXPECT_LT(server.full_bitrate_mbps(), 1000.0);
+}
+
+TEST(ServerTest, SampleFrameRespectsDensity) {
+  VideoServer server(small_video());
+  const PointCloud full = server.ground_truth_frame(0, 1.0);
+  const PointCloud half = server.encode_sample_frame(0, 0.5, 1.0);
+  EXPECT_NEAR(double(half.size()), double(full.size()) * 0.5,
+              double(full.size()) * 0.15);
+}
+
+SessionConfig base_config(SystemKind kind) {
+  SessionConfig cfg;
+  cfg.kind = kind;
+  cfg.video = small_video();
+  cfg.max_chunks = 40;
+  return cfg;
+}
+
+TEST(SessionTest, RunsAndRecordsChunks) {
+  const SimulatedLink link{BandwidthTrace::stable(50.0), 0.010};
+  const auto result =
+      run_session(base_config(SystemKind::kVolutContinuous), link);
+  ASSERT_FALSE(result.chunks.empty());
+  EXPECT_GT(result.total_bytes, 0.0);
+  EXPECT_GT(result.mean_quality, 0.0);
+  EXPECT_LE(result.normalized_qoe(), 100.0 + 1e-9);
+}
+
+TEST(SessionTest, AmpleBandwidthGivesNearPerfectQoE) {
+  // Full-density chunks of the tiny test video are ~0.3 MB; 100 Mbps is
+  // plenty, so VoLUT should stream at (near) full density without stalls.
+  const SimulatedLink link{BandwidthTrace::stable(100.0), 0.010};
+  const auto result =
+      run_session(base_config(SystemKind::kVolutContinuous), link);
+  EXPECT_GT(result.mean_density, 0.9);
+  EXPECT_LT(result.stall_seconds, 0.1);
+  EXPECT_GT(result.normalized_qoe(), 90.0);
+}
+
+TEST(SessionTest, ScarceBandwidthTriggersDownsampling) {
+  SessionConfig cfg = base_config(SystemKind::kVolutContinuous);
+  // Tight link: ~1.2x the bytes of a half-density stream.
+  VideoServer server(cfg.video);
+  const double full_mbps =
+      server.chunk_bytes(1.0, 1.0) * 8.0 / 1e6;  // per 1 s chunk
+  const SimulatedLink link{BandwidthTrace::stable(full_mbps * 0.4), 0.010};
+  const auto result = run_session(cfg, link);
+  EXPECT_LT(result.mean_density, 0.8);
+  EXPECT_GT(result.mean_density, 0.0);
+  // SR keeps quality well above the raw delivered density.
+  EXPECT_GT(result.mean_quality, result.mean_density * 100.0);
+}
+
+TEST(SessionTest, VolutBeatsYuzuOnConstrainedLink) {
+  VideoServer server(small_video());
+  const double full_mbps = server.chunk_bytes(1.0, 1.0) * 8.0 / 1e6;
+  const SimulatedLink link{BandwidthTrace::stable(full_mbps * 0.5), 0.010};
+  const auto volut =
+      run_session(base_config(SystemKind::kVolutContinuous), link);
+  const auto yuzu = run_session(base_config(SystemKind::kYuzuSr), link);
+  EXPECT_GT(volut.normalized_qoe(), yuzu.normalized_qoe());
+  EXPECT_LT(volut.total_bytes, yuzu.total_bytes);
+}
+
+TEST(SessionTest, ContinuousBeatsDiscreteAbr) {
+  VideoServer server(small_video());
+  const double full_mbps = server.chunk_bytes(1.0, 1.0) * 8.0 / 1e6;
+  const SimulatedLink link{
+      BandwidthTrace::lte(full_mbps * 0.6, full_mbps * 0.15, 300.0, 3),
+      0.030};
+  const auto h1 = run_session(base_config(SystemKind::kVolutContinuous), link);
+  const auto h2 = run_session(base_config(SystemKind::kVolutDiscrete), link);
+  // Figure 14: H1 dominates H2 on the QoE/data tradeoff.
+  EXPECT_GE(h1.qoe, h2.qoe * 0.98);
+}
+
+TEST(SessionTest, VivoNeedsMotionAndUsesViewportCulling) {
+  const SimulatedLink link{BandwidthTrace::stable(100.0), 0.010};
+  MotionTraceSpec mspec;
+  mspec.frames = 1200;
+  const MotionTrace motion = MotionTrace::generate(mspec, 0);
+  const auto vivo = run_session(base_config(SystemKind::kVivo), link, &motion);
+  const auto raw = run_session(base_config(SystemKind::kRaw), link);
+  // ViVo fetches only the (predicted) visible portion: fewer bytes than raw.
+  EXPECT_LT(vivo.total_bytes, raw.total_bytes);
+  EXPECT_GT(vivo.total_bytes, 0.0);
+}
+
+TEST(SessionTest, YuzuCountsModelDownloads) {
+  const SimulatedLink link{BandwidthTrace::stable(100.0), 0.010};
+  SessionConfig cfg = base_config(SystemKind::kYuzuSr);
+  cfg.yuzu_model_bytes = 0.0;
+  const auto without = run_session(cfg, link);
+  cfg.yuzu_model_bytes = 8e6;
+  const auto with = run_session(cfg, link);
+  EXPECT_NEAR(with.total_bytes - without.total_bytes, 8e6, 1e3);
+}
+
+TEST(SessionTest, DataUsageFractionConsistent) {
+  const SimulatedLink link{BandwidthTrace::stable(30.0), 0.010};
+  const auto result =
+      run_session(base_config(SystemKind::kVolutContinuous), link);
+  EXPECT_GT(result.data_usage_fraction, 0.0);
+  EXPECT_LE(result.data_usage_fraction, 1.0 + 1e-9);
+  EXPECT_NEAR(result.mean_density, result.data_usage_fraction, 0.05);
+}
+
+TEST(SessionTest, DeterministicForFixedSeeds) {
+  const SimulatedLink link{BandwidthTrace::lte(40.0, 15.0, 300.0, 9), 0.020};
+  const auto a = run_session(base_config(SystemKind::kVolutContinuous), link);
+  const auto b = run_session(base_config(SystemKind::kVolutContinuous), link);
+  EXPECT_DOUBLE_EQ(a.qoe, b.qoe);
+  EXPECT_DOUBLE_EQ(a.total_bytes, b.total_bytes);
+}
+
+TEST(YuzuTest, SnapRatioPicksNearestOption) {
+  EXPECT_DOUBLE_EQ(YuzuSr::snap_ratio(2.2), 2.0);
+  EXPECT_DOUBLE_EQ(YuzuSr::snap_ratio(3.6), 4.0);
+  EXPECT_DOUBLE_EQ(YuzuSr::snap_ratio(7.0), 6.0);
+  EXPECT_DOUBLE_EQ(YuzuSr::snap_ratio(100.0), 8.0);
+}
+
+TEST(YuzuTest, UpsampleProducesSnappedDensity) {
+  YuzuConfig cfg;
+  cfg.hidden = {32, 32};  // small net for test speed
+  const YuzuSr yuzu(cfg);
+  Rng rng(1);
+  PointCloud pc;
+  for (int i = 0; i < 200; ++i) {
+    pc.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const YuzuResult r = yuzu.upsample(pc, 2.4);  // snaps to 2
+  EXPECT_NEAR(double(r.cloud.size()), 400.0, 2.0);
+  EXPECT_GT(r.inference_ms, 0.0);
+}
+
+TEST(YuzuTest, ModelBytesReflectParameters) {
+  const YuzuSr yuzu;
+  EXPECT_EQ(yuzu.model_bytes(), yuzu.parameter_count() * 4);
+  EXPECT_GT(yuzu.model_bytes(), 500'000u);  // genuinely heavyweight
+}
+
+TEST(VivoTest, PerfectPredictionFullCoverage) {
+  Rng rng(2);
+  PointCloud frame;
+  for (int i = 0; i < 500; ++i) {
+    frame.push_back({rng.uniform(-1, 1), rng.uniform(0, 2),
+                     rng.uniform(-1, 1)});
+  }
+  Pose pose;
+  pose.position = {0, 1, 4};
+  const VivoChunkPlan plan = vivo_plan_chunk(frame, pose, pose);
+  EXPECT_NEAR(plan.coverage, 1.0, 1e-9);
+  EXPECT_GT(plan.fetch_fraction, 0.0);
+}
+
+TEST(VivoTest, MispredictionReducesCoverage) {
+  Rng rng(3);
+  PointCloud frame;
+  for (int i = 0; i < 2000; ++i) {
+    frame.push_back({rng.uniform(-1, 1), rng.uniform(0, 2),
+                     rng.uniform(-1, 1)});
+  }
+  Pose decision;
+  decision.position = {0, 1, 3};
+  // Fast viewer movement: a ~45 degree orbit between the fetch decision and
+  // playback exposes previously occluded content that was never fetched.
+  Pose playback;
+  playback.position = {2.0f, 1, 2.0f};
+  playback.yaw = -0.785f;  // aimed back at the content center
+  const VivoChunkPlan plan = vivo_plan_chunk(frame, decision, playback);
+  EXPECT_LT(plan.coverage, 0.95);
+}
+
+}  // namespace
+}  // namespace volut
