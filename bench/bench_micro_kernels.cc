@@ -4,14 +4,18 @@
 // queries, position encoding and float16 conversion.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 
+#include "bench/common.h"
 #include "src/core/half.h"
 #include "src/core/rng.h"
 #include "src/nn/mlp.h"
+#include "src/platform/thread_pool.h"
 #include "src/spatial/kdtree.h"
 #include "src/spatial/octree.h"
 #include "src/sr/lut_builder.h"
+#include "src/sr/pipeline.h"
 #include "src/sr/position_encoding.h"
 #include "src/sr/refine_net.h"
 
@@ -99,6 +103,91 @@ void BM_NeuralRefineInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeuralRefineInference);
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t cloud_hash(const PointCloud& pc) {
+  std::uint64_t h =
+      fnv1a(pc.positions().data(), pc.size() * sizeof(Vec3f));
+  return fnv1a(pc.colors().data(), pc.size() * sizeof(Color), h);
+}
+
+// Thread-scaling of the full SR anchor loop (kNN -> interpolation ->
+// colorization -> LUT refinement). Every parallel stage writes disjoint
+// output slots, so the result must hash identically at every worker count;
+// a mismatch fails the benchmark via SkipWithError.
+struct SrScalingFixture {
+  PointCloud low;
+  std::shared_ptr<const RefinementLut> lut;
+  InterpolationConfig interp;
+  std::uint64_t reference_hash = 0;
+
+  SrScalingFixture() {
+    const double scale = bench::bench_scale();
+    const SyntheticVideo video(VideoSpec::dress(scale));
+    Rng rng(7);
+    low = video.frame(0).random_downsample(0.5f, rng);
+    lut = bench::train_assets(scale).lut;
+    interp.k = 4;
+    interp.dilation = 2;
+    const SrPipeline serial(lut, interp, /*pool=*/nullptr);
+    reference_hash = cloud_hash(serial.upsample(low, 2.0).cloud);
+  }
+};
+
+void BM_SrPipelineThreads(benchmark::State& state) {
+  static SrScalingFixture fixture;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  const SrPipeline pipeline(fixture.lut, fixture.interp,
+                            threads > 1 ? &pool : nullptr);
+  std::uint64_t hash = fixture.reference_hash;
+  for (auto _ : state) {
+    const SrResult r = pipeline.upsample(fixture.low, 2.0);
+    hash = cloud_hash(r.cloud);
+    benchmark::DoNotOptimize(hash);
+  }
+  if (hash != fixture.reference_hash) {
+    state.SkipWithError("multi-thread SR output differs from single-thread");
+  }
+  state.counters["identical"] = hash == fixture.reference_hash ? 1 : 0;
+  state.counters["input_points"] = static_cast<double>(fixture.low.size());
+}
+BENCHMARK(BM_SrPipelineThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Thread-scaling of the batched kd-tree kNN kernel alone (the stage-1
+// baseline path of the interpolator).
+void BM_BatchKnnThreads(benchmark::State& state) {
+  const auto pts = random_points(20000, 11);
+  const KdTree tree(pts);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch_knn_kdtree(
+        tree, pts, 8, threads > 1 ? &pool : nullptr, /*exclude_self=*/true));
+  }
+}
+BENCHMARK(BM_BatchKnnThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_MergeAndPrune(benchmark::State& state) {
   const auto pts = random_points(1000, 5);

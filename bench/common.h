@@ -38,7 +38,8 @@ struct TrainedAssets {
 /// reduced from the paper's 128 by default to keep the suite fast; pass 128
 /// for the deployed configuration.
 inline TrainedAssets train_assets(double scale, int bins = 32,
-                                  std::size_t receptive_field = 4) {
+                                  std::size_t receptive_field = 4,
+                                  ThreadPool* pool = nullptr) {
   TrainedAssets assets;
   RefineNetConfig cfg;
   cfg.receptive_field = receptive_field;
@@ -59,7 +60,7 @@ inline TrainedAssets train_assets(double scale, int bins = 32,
   assets.net = std::make_unique<RefineNet>(cfg);
   assets.net->train(data);
   assets.lut = std::make_shared<RefinementLut>(
-      distill_lut(*assets.net, LutSpec{receptive_field, bins}));
+      distill_lut(*assets.net, LutSpec{receptive_field, bins}, pool));
   return assets;
 }
 

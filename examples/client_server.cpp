@@ -8,11 +8,13 @@
 #include <memory>
 
 #include "src/core/rng.h"
+#include "src/platform/thread_pool.h"
 #include "src/sr/lut_builder.h"
 #include "src/stream/endpoint.h"
 
 int main() {
   using namespace volut;
+  ThreadPool pool;  // shared by LUT distillation and client-side SR
 
   // Connected transport pair.
   auto [client_end, server_end] = InMemoryTransport::make_pair();
@@ -37,8 +39,9 @@ int main() {
   TrainingSet data =
       build_training_set(content.frame(0), 0.5, interp, net_cfg, rng, 8000);
   net.train(data);
-  auto lut = std::make_shared<RefinementLut>(distill_lut(net, LutSpec{4, 32}));
-  VolutClient client(client_end.get(), lut, interp);
+  auto lut = std::make_shared<RefinementLut>(
+      distill_lut(net, LutSpec{4, 32}, &pool));
+  VolutClient client(client_end.get(), lut, interp, &pool);
 
   // 1. Manifest.
   const Manifest manifest = client.fetch_manifest(/*video_id=*/1);

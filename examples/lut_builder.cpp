@@ -14,6 +14,7 @@
 #include "src/core/rng.h"
 #include "src/data/synthetic_video.h"
 #include "src/metrics/chamfer.h"
+#include "src/platform/thread_pool.h"
 #include "src/sr/lut_builder.h"
 #include "src/sr/pipeline.h"
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace volut;
   const std::string path = argc > 1 ? argv[1] : "volut_lut.npy";
   const int bins = argc > 2 ? std::atoi(argv[2]) : 32;
+  ThreadPool pool;  // shared by distillation, SR and metrics
 
   // --- Train on Dress only -------------------------------------------------
   const SyntheticVideo dress(VideoSpec::dress(0.03));
@@ -43,23 +45,23 @@ int main(int argc, char** argv) {
   std::printf("final training MSE: %.4f\n", net.train(data));
 
   // --- Distill + persist ---------------------------------------------------
-  const RefinementLut lut = distill_lut(net, LutSpec{4, bins});
+  const RefinementLut lut = distill_lut(net, LutSpec{4, bins}, &pool);
   lut.save_npy(path);
   std::printf("LUT (n=4, b=%d, %.2f MB) written to %s (+ .meta sidecar)\n",
               bins, double(lut.spec().bytes()) / 1e6, path.c_str());
 
   // --- Reload and verify generalization on the other videos ----------------
   auto loaded = std::make_shared<RefinementLut>(RefinementLut::load_npy(path));
-  SrPipeline pipeline(loaded, interp);
+  SrPipeline pipeline(loaded, interp, &pool);
   for (VideoId id : {VideoId::kLoot, VideoId::kHaggle, VideoId::kLab}) {
     const SyntheticVideo video(VideoSpec::by_id(id, 0.03));
     const PointCloud gt = video.frame(3);
     const PointCloud low = gt.random_downsample(0.5f, rng);
     const double ratio = double(gt.size()) / double(low.size());
     const double cd_plain = chamfer_distance(
-        pipeline.upsample(low, ratio, false).cloud, gt);
+        pipeline.upsample(low, ratio, false).cloud, gt, &pool);
     const double cd_lut = chamfer_distance(
-        pipeline.upsample(low, ratio, true).cloud, gt);
+        pipeline.upsample(low, ratio, true).cloud, gt, &pool);
     std::printf("  %-8s Chamfer: interp-only %.5f -> with LUT %.5f (%s)\n",
                 video_name(id).c_str(), cd_plain, cd_lut,
                 cd_lut < cd_plain ? "improved" : "no gain");

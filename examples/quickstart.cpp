@@ -13,11 +13,17 @@
 #include "src/core/rng.h"
 #include "src/data/synthetic_video.h"
 #include "src/metrics/chamfer.h"
+#include "src/platform/thread_pool.h"
 #include "src/sr/lut_builder.h"
 #include "src/sr/pipeline.h"
 
 int main() {
   using namespace volut;
+
+  // One pool, shared by distillation, the SR pipeline and the metrics. All
+  // parallel stages are bit-identical to serial execution, so worker count
+  // only affects wall clock.
+  ThreadPool pool;
 
   // 1. A frame of the synthetic "dress" video (~3K points here; pass a
   //    larger scale for paper-sized 100K-point frames).
@@ -47,12 +53,12 @@ int main() {
               net.parameter_count());
 
   auto lut = std::make_shared<RefinementLut>(
-      distill_lut(net, LutSpec{net_cfg.receptive_field, 32}));
+      distill_lut(net, LutSpec{net_cfg.receptive_field, 32}, &pool));
   std::printf("LUT distilled: %.2f MB (paper n=4,b=128 would be 1.61 GB)\n",
               double(lut->spec().bytes()) / 1e6);
 
   // 4. Client-side SR: interpolate 2x and refine via LUT lookups.
-  SrPipeline pipeline(lut, interp);
+  SrPipeline pipeline(lut, interp, &pool);
   const SrResult without = pipeline.upsample(low, 2.0, /*refine=*/false);
   const SrResult with = pipeline.upsample(low, 2.0, /*refine=*/true);
 
@@ -63,8 +69,8 @@ int main() {
               with.timing.refine_ms);
   std::printf("Chamfer to ground truth: interpolation only %.5f, "
               "with LUT refinement %.5f\n",
-              chamfer_distance(without.cloud, ground_truth),
-              chamfer_distance(with.cloud, ground_truth));
+              chamfer_distance(without.cloud, ground_truth, &pool),
+              chamfer_distance(with.cloud, ground_truth, &pool));
   std::printf("\nDone. See example_lut_builder for LUT persistence and\n"
               "example_streaming_session for the end-to-end ABR loop.\n");
   return 0;

@@ -12,6 +12,7 @@
 #include "src/data/synthetic_video.h"
 #include "src/data/viewport.h"
 #include "src/metrics/renderer.h"
+#include "src/platform/thread_pool.h"
 #include "src/sr/lut_builder.h"
 #include "src/sr/pipeline.h"
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace volut;
   const std::string out_dir = argc > 1 ? argv[1] : "viewport_out";
   std::filesystem::create_directories(out_dir);
+  ThreadPool pool;  // shared by distillation and per-frame SR
 
   // Content + a user orbiting it.
   const SyntheticVideo video(VideoSpec::loot(0.05));
@@ -38,8 +40,9 @@ int main(int argc, char** argv) {
   TrainingSet data =
       build_training_set(video.frame(0), 0.5, interp, net_cfg, rng, 10'000);
   net.train(data);
-  auto lut = std::make_shared<RefinementLut>(distill_lut(net, LutSpec{4, 32}));
-  SrPipeline pipeline(lut, interp);
+  auto lut = std::make_shared<RefinementLut>(
+      distill_lut(net, LutSpec{4, 32}, &pool));
+  SrPipeline pipeline(lut, interp, &pool);
 
   Camera cam;
   cam.width = 320;

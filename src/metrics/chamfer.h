@@ -1,29 +1,38 @@
 // Geometric quality metrics: point-to-point / Chamfer distance (paper §7.1).
+//
+// All metrics accept an optional ThreadPool. Reductions use fixed-size
+// chunks whose boundaries are independent of the worker count, so every
+// result is bit-identical between serial and pool execution.
 #pragma once
 
 #include "src/core/point_cloud.h"
 
 namespace volut {
 
+class ThreadPool;
+
 /// One-directional mean nearest-neighbor distance from every point of `from`
 /// to its closest point in `to`. Returns 0 for an empty `from`;
 /// +inf when `to` is empty but `from` is not.
-double directed_chamfer(const PointCloud& from, const PointCloud& to);
+double directed_chamfer(const PointCloud& from, const PointCloud& to,
+                        ThreadPool* pool = nullptr);
 
 /// Symmetric point-to-point Chamfer distance:
 ///   CD(A,B) = mean_a min_b ||a-b|| + mean_b min_a ||a-b||.
 /// This is the P2P CD used in the paper's Figures 8 and 10.
-double chamfer_distance(const PointCloud& a, const PointCloud& b);
+double chamfer_distance(const PointCloud& a, const PointCloud& b,
+                        ThreadPool* pool = nullptr);
 
 /// Chamfer distance normalized by the ground-truth bounding-box diagonal,
 /// making values comparable across differently scaled content.
-double normalized_chamfer(const PointCloud& pred, const PointCloud& gt);
+double normalized_chamfer(const PointCloud& pred, const PointCloud& gt,
+                          ThreadPool* pool = nullptr);
 
 /// Density-aware Chamfer distance (Wu et al., cited in §7.1): each
 /// nearest-neighbor term is weighted by how many query points share the same
 /// target neighbor, penalizing clumped predictions that plain CD rewards.
 /// Returns the symmetric sum like chamfer_distance.
 double density_aware_chamfer(const PointCloud& a, const PointCloud& b,
-                             double alpha = 1.0);
+                             double alpha = 1.0, ThreadPool* pool = nullptr);
 
 }  // namespace volut

@@ -55,6 +55,59 @@ void ThreadPool::parallel_for(
   wait_idle();
 }
 
+namespace {
+
+void chunks_inline(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    body(c, c * chunk, std::min(n, (c + 1) * chunk));
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallel_chunks(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  if (worker_count() <= 1 || num_chunks <= 1) {
+    chunks_inline(n, chunk, body);
+    return;
+  }
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    submit([&body, c, chunk, n] {
+      body(c, c * chunk, std::min(n, (c + 1) * chunk));
+    });
+  }
+  wait_idle();
+}
+
+void run_parallel(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_grain) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, body, min_grain);
+  } else if (n > 0) {
+    body(0, n);
+  }
+}
+
+void run_chunked(
+    ThreadPool* pool, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+  if (pool != nullptr) {
+    pool->parallel_chunks(n, chunk, body);
+  } else {
+    chunks_inline(n, chunk, body);
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -42,6 +42,16 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_grain = 256);
 
+  /// Splits [0, n) into fixed-size chunks of `chunk` indices and runs
+  /// `body(chunk_index, begin, end)` on the pool, blocking until all chunks
+  /// complete. Unlike parallel_for, the chunk boundaries depend only on
+  /// (n, chunk) — never on the worker count — so per-chunk partial results
+  /// (e.g. floating-point sums) combine identically at any parallelism.
+  /// Runs inline on a single-worker pool.
+  void parallel_chunks(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
  private:
   void worker_loop();
 
@@ -53,5 +63,18 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
+
+/// parallel_for through `pool`, or inline `body(0, n)` when `pool` is null.
+/// The hot paths take an optional pool; this keeps the fallback in one place.
+void run_parallel(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_grain = 256);
+
+/// parallel_chunks through `pool`, or the same fixed-chunk sweep inline when
+/// `pool` is null. Chunk boundaries depend only on (n, chunk) either way, so
+/// per-chunk partial results combine identically at any parallelism.
+void run_chunked(
+    ThreadPool* pool, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
 }  // namespace volut

@@ -2,6 +2,9 @@
 
 #include <array>
 
+#include "src/platform/thread_pool.h"
+#include "src/spatial/kdtree.h"
+
 namespace volut {
 
 std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
@@ -42,6 +45,30 @@ std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
   for (const Neighbor& n : b) consider(n.index);
 
   return std::vector<Neighbor>(best.begin(), best.begin() + best_n);
+}
+
+std::vector<std::vector<Neighbor>> batch_knn_kdtree(
+    const KdTree& tree, std::span<const Vec3f> queries, std::size_t k,
+    ThreadPool* pool, bool exclude_self) {
+  std::vector<std::vector<Neighbor>> result(queries.size());
+  if (queries.empty() || k == 0) return result;
+  run_parallel(
+      pool, queries.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (exclude_self) {
+            auto nbrs = tree.knn(queries[i], k + 1);
+            std::erase_if(nbrs,
+                          [i](const Neighbor& n) { return n.index == i; });
+            if (nbrs.size() > k) nbrs.resize(k);
+            result[i] = std::move(nbrs);
+          } else {
+            result[i] = tree.knn(queries[i], k);
+          }
+        }
+      },
+      /*min_grain=*/256);
+  return result;
 }
 
 }  // namespace volut

@@ -18,6 +18,9 @@
 
 namespace volut {
 
+class KdTree;
+class ThreadPool;
+
 /// One neighbor: index into the source cloud plus squared distance to the
 /// query point.
 struct Neighbor {
@@ -79,5 +82,15 @@ std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
                                       const Vec3f& query,
                                       std::span<const Vec3f> positions,
                                       std::size_t k);
+
+/// Runs one k-nearest-neighbor query per entry of `queries` against `tree`,
+/// split into chunked batches on `pool` (serial when `pool` is null or has a
+/// single worker). Each query writes only its own result slot, so the output
+/// is bit-identical regardless of worker count. With `exclude_self` true,
+/// query i is assumed to be point i of the indexed cloud: k+1 neighbors are
+/// fetched and the self-match dropped.
+std::vector<std::vector<Neighbor>> batch_knn_kdtree(
+    const KdTree& tree, std::span<const Vec3f> queries, std::size_t k,
+    ThreadPool* pool = nullptr, bool exclude_self = false);
 
 }  // namespace volut

@@ -12,20 +12,15 @@ namespace volut {
 
 namespace {
 
-/// Vanilla kNN path: one kd-tree query per source point, no parallel cell
-/// decomposition. This is the baseline whose cost Figure 11 compares against.
+/// Vanilla kNN path: one kd-tree query per source point, run as chunked
+/// batches on the pool (batch_knn_kdtree). This is the baseline whose cost
+/// Figure 11 compares against.
 std::vector<std::vector<Neighbor>> knn_all_kdtree(const PointCloud& input,
-                                                  std::size_t k) {
+                                                  std::size_t k,
+                                                  ThreadPool* pool) {
   KdTree tree(input.positions());
-  std::vector<std::vector<Neighbor>> result(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    // Query k+1 and drop self.
-    auto nbrs = tree.knn(input.position(i), k + 1);
-    std::erase_if(nbrs, [i](const Neighbor& n) { return n.index == i; });
-    if (nbrs.size() > k) nbrs.resize(k);
-    result[i] = std::move(nbrs);
-  }
-  return result;
+  return batch_knn_kdtree(tree, input.positions(), k, pool,
+                          /*exclude_self=*/true);
 }
 
 }  // namespace
@@ -53,7 +48,7 @@ InterpolationResult interpolate(const PointCloud& input, double ratio,
     TwoLayerOctree octree(input.positions(), pool);
     dilated = octree.batch_knn(dk, pool, /*exact=*/false);
   } else {
-    dilated = knn_all_kdtree(input, dk);
+    dilated = knn_all_kdtree(input, dk, pool);
   }
   result.timing.knn_ms = timer.elapsed_ms();
 
@@ -144,25 +139,20 @@ InterpolationResult interpolate(const PointCloud& input, double ratio,
       } else {
         result.new_neighbors[j] = fresh_tree.knn(np, k);
       }
+      if (config.colorize) {
+        // Nearest original point's color (§4.1), reusing the merged neighbor
+        // list just computed — no extra spatial queries, and the list is
+        // still cache-hot. Each iteration writes only its own color slot, so
+        // the fold into the parallel loop keeps output bit-identical.
+        const auto& nbrs = result.new_neighbors[j];
+        const std::uint32_t nearest =
+            nbrs.empty() ? result.parents[j][0]
+                         : static_cast<std::uint32_t>(nbrs.front().index);
+        result.cloud.color(new_begin + j) = input.color(nearest);
+      }
     }
   };
-  if (pool != nullptr && pool->worker_count() > 1) {
-    pool->parallel_for(parents.size(), process_range, /*min_grain=*/512);
-  } else {
-    process_range(0, parents.size());
-  }
-
-  if (config.colorize) {
-    // Nearest original point's color (§4.1), reusing the merged neighbor
-    // lists — no extra spatial queries.
-    for (std::size_t j = 0; j < parents.size(); ++j) {
-      const auto& nbrs = result.new_neighbors[j];
-      const std::uint32_t nearest =
-          nbrs.empty() ? result.parents[j][0]
-                       : static_cast<std::uint32_t>(nbrs.front().index);
-      result.cloud.color(new_begin + j) = input.color(nearest);
-    }
-  }
+  run_parallel(pool, parents.size(), process_range, /*min_grain=*/512);
   result.timing.colorize_ms = timer.elapsed_ms();
   return result;
 }

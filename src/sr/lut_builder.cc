@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/platform/thread_pool.h"
 #include "src/sr/position_encoding.h"
 
 namespace volut {
@@ -23,7 +24,8 @@ bool advance(std::vector<std::uint16_t>& bins_seq, int bins) {
 
 }  // namespace
 
-RefinementLut distill_lut(const RefineNet& net, const LutSpec& spec) {
+RefinementLut distill_lut(const RefineNet& net, const LutSpec& spec,
+                          ThreadPool* pool) {
   if (net.config().receptive_field != spec.receptive_field) {
     throw std::invalid_argument(
         "distill_lut: net/LUT receptive field mismatch");
@@ -33,31 +35,51 @@ RefinementLut distill_lut(const RefineNet& net, const LutSpec& spec) {
   const int b = spec.bins;
   const std::uint16_t center_bin = quantize_coord(0.0f, b);
 
+  // The reachable entries per axis form a flat space of b^(n-1) neighbor-bin
+  // combinations. Chunks of that space distill independently: each entry's
+  // prediction depends only on its own configuration and writes its own LUT
+  // slot, so pool execution is bit-identical to the serial sweep.
+  std::uint64_t total = 1;
+  for (std::size_t i = 1; i < n; ++i) total *= std::uint64_t(b);
+
   constexpr std::size_t kBatch = 4096;
   for (int axis = 0; axis < 3; ++axis) {
-    std::vector<std::uint16_t> seq(n, 0);
-    seq[0] = center_bin;
-    bool more = true;
-    while (more) {
-      // Collect up to kBatch configurations.
+    auto distill_range = [&](std::size_t begin, std::size_t end) {
+      // Reconstruct the odometer state at `begin`: the neighbor slots are
+      // the base-b digits of the flat index, last slot fastest (matching
+      // advance()).
+      std::vector<std::uint16_t> seq(n, 0);
+      seq[0] = center_bin;
+      std::uint64_t flat = begin;
+      for (std::size_t i = n; i-- > 1;) {
+        seq[i] = static_cast<std::uint16_t>(flat % std::uint64_t(b));
+        flat /= std::uint64_t(b);
+      }
       std::vector<float> coords;
-      coords.reserve(kBatch * n);
       std::vector<std::uint64_t> indices;
-      indices.reserve(kBatch);
-      std::size_t count = 0;
-      while (count < kBatch && more) {
-        indices.push_back(axis_index(seq, b));
-        for (std::size_t s = 0; s < n; ++s) {
-          coords.push_back(dequantize_coord(seq[s], b));
+      std::size_t done = begin;
+      while (done < end) {
+        const std::size_t count = std::min(kBatch, end - done);
+        coords.clear();
+        coords.reserve(count * n);
+        indices.clear();
+        indices.reserve(count);
+        for (std::size_t c = 0; c < count; ++c) {
+          indices.push_back(axis_index(seq, b));
+          for (std::size_t s = 0; s < n; ++s) {
+            coords.push_back(dequantize_coord(seq[s], b));
+          }
+          advance(seq, b);
         }
-        ++count;
-        more = advance(seq, b);
+        const std::vector<float> preds =
+            net.predict_batch(axis, coords, count);
+        for (std::size_t i = 0; i < count; ++i) {
+          lut.set(axis, indices[i], preds[i]);
+        }
+        done += count;
       }
-      const std::vector<float> preds = net.predict_batch(axis, coords, count);
-      for (std::size_t i = 0; i < count; ++i) {
-        lut.set(axis, indices[i], preds[i]);
-      }
-    }
+    };
+    run_parallel(pool, total, distill_range, /*min_grain=*/kBatch);
   }
   return lut;
 }

@@ -20,9 +20,14 @@
 
 namespace volut {
 
+class ThreadPool;
+
 /// Distills `net` into a LUT with the given spec. The net's receptive field
-/// must equal spec.receptive_field.
-RefinementLut distill_lut(const RefineNet& net, const LutSpec& spec);
+/// must equal spec.receptive_field. The b^(n-1) reachable entries per axis
+/// are independent, so they distill as chunked batches on `pool` (serial
+/// when null); the table is bit-identical at any worker count.
+RefinementLut distill_lut(const RefineNet& net, const LutSpec& spec,
+                          ThreadPool* pool = nullptr);
 
 /// Builds a LUT by averaging sample targets per quantized configuration.
 /// Unvisited configurations keep a zero offset (identity refinement).

@@ -41,11 +41,7 @@ SrResult SrPipeline::upsample(const PointCloud& input, double ratio,
         p += lut_->lookup(enc);
       }
     };
-    if (pool_ != nullptr && pool_->worker_count() > 1) {
-      pool_->parallel_for(ir.new_count(), refine_range, /*min_grain=*/1024);
-    } else {
-      refine_range(0, ir.new_count());
-    }
+    run_parallel(pool_, ir.new_count(), refine_range, /*min_grain=*/1024);
     result.timing.refine_ms = timer.elapsed_ms();
   }
 

@@ -85,8 +85,8 @@ void ServerEndpoint::handle(const Message& message) {
 
 VolutClient::VolutClient(Transport* transport,
                          std::shared_ptr<const RefinementLut> lut,
-                         InterpolationConfig interp)
-    : transport_(transport), pipeline_(std::move(lut), interp) {
+                         InterpolationConfig interp, ThreadPool* pool)
+    : transport_(transport), pipeline_(std::move(lut), interp, pool) {
   transport_->set_receive_sink(
       [this](const std::vector<std::uint8_t>& bytes) { on_bytes(bytes); });
 }

@@ -90,8 +90,10 @@ struct ClientChunk {
 /// Client side: manifest + chunk fetching + client-side SR.
 class VolutClient {
  public:
+  /// `pool` (optional) parallelizes the client-side SR anchor loop; results
+  /// are bit-identical to serial execution.
   VolutClient(Transport* transport, std::shared_ptr<const RefinementLut> lut,
-              InterpolationConfig interp);
+              InterpolationConfig interp, ThreadPool* pool = nullptr);
 
   /// Blocking manifest fetch (synchronous transports only).
   Manifest fetch_manifest(std::uint32_t video_id);

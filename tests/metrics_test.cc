@@ -8,6 +8,7 @@
 #include "src/metrics/chamfer.h"
 #include "src/metrics/renderer.h"
 #include "src/metrics/stats.h"
+#include "src/platform/thread_pool.h"
 
 namespace volut {
 namespace {
@@ -57,6 +58,23 @@ TEST(ChamferTest, NormalizedIsScaleInvariant) {
     b10.push_back(b.position(i) * 10.0f);
   }
   EXPECT_NEAR(normalized_chamfer(b, a), normalized_chamfer(b10, a10), 1e-6);
+}
+
+TEST(ChamferTest, PoolResultIsBitIdenticalToSerial) {
+  // The chunked reduction's chunk boundaries depend only on the input size,
+  // so pool execution must reproduce the serial sum exactly (not just
+  // approximately).
+  Rng rng(3);
+  PointCloud a, b;
+  for (int i = 0; i < 20'000; ++i) {
+    a.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    b.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  ThreadPool pool(4);
+  EXPECT_EQ(chamfer_distance(a, b), chamfer_distance(a, b, &pool));
+  EXPECT_EQ(directed_chamfer(a, b), directed_chamfer(a, b, &pool));
+  EXPECT_EQ(density_aware_chamfer(a, b, 1.0),
+            density_aware_chamfer(a, b, 1.0, &pool));
 }
 
 TEST(RendererTest, SinglePointProjectsToImageCenter) {

@@ -248,5 +248,51 @@ TEST(MergeAndPruneTest, DeduplicatesSharedCandidates) {
   EXPECT_EQ(merged[0].index, 1u);  // distance 0
 }
 
+TEST(BatchKnnKdtreeTest, MatchesPerQueryKnn) {
+  Rng rng(77);
+  const auto pts = random_points(500, rng);
+  const KdTree tree(pts);
+  const auto batched = batch_knn_kdtree(tree, pts, 5);
+  ASSERT_EQ(batched.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); i += 37) {
+    const auto want = tree.knn(pts[i], 5);
+    ASSERT_EQ(batched[i].size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(batched[i][j].index, want[j].index);
+    }
+  }
+}
+
+TEST(BatchKnnKdtreeTest, ExcludeSelfDropsTheQueryPoint) {
+  Rng rng(78);
+  const auto pts = random_points(300, rng);
+  const KdTree tree(pts);
+  const auto batched = batch_knn_kdtree(tree, pts, 4, /*pool=*/nullptr,
+                                        /*exclude_self=*/true);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(batched[i].size(), 4u);
+    for (const Neighbor& n : batched[i]) EXPECT_NE(n.index, i);
+  }
+}
+
+TEST(BatchKnnKdtreeTest, PoolResultIsBitIdenticalToSerial) {
+  Rng rng(79);
+  const auto pts = random_points(3000, rng);
+  const KdTree tree(pts);
+  ThreadPool pool(4);
+  const auto serial = batch_knn_kdtree(tree, pts, 6, /*pool=*/nullptr,
+                                       /*exclude_self=*/true);
+  const auto parallel =
+      batch_knn_kdtree(tree, pts, 6, &pool, /*exclude_self=*/true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), parallel[i].size()) << "query " << i;
+    for (std::size_t j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(serial[i][j].index, parallel[i][j].index);
+      EXPECT_EQ(serial[i][j].dist2, parallel[i][j].dist2);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace volut

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "src/core/rng.h"
+#include "src/platform/thread_pool.h"
 #include "src/sr/lut.h"
 #include "src/sr/lut_builder.h"
 #include "src/sr/position_encoding.h"
@@ -260,6 +261,26 @@ TEST(LutBuilderTest, DistillMatchesNetworkAtBinCenters) {
     const float got = lut.get(0, axis_index(seq, spec.bins));
     EXPECT_NEAR(got, want, 2e-3f) << "trial " << trial;
   }
+}
+
+TEST(LutBuilderTest, DistillOnPoolIsBitIdenticalToSerial) {
+  RefineNetConfig cfg;
+  cfg.receptive_field = 4;
+  cfg.hidden = {8};
+  const RefineNet net(cfg);
+  // 32^3 reachable entries per axis — enough to split into several pool
+  // chunks (the parallel path, not the small-n inline fallback).
+  const LutSpec spec{4, 32};
+  const RefinementLut serial = distill_lut(net, spec);
+  ThreadPool pool(4);
+  const RefinementLut parallel = distill_lut(net, spec, &pool);
+  std::uint64_t mismatches = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    for (std::uint64_t idx = 0; idx < spec.entries_per_axis(); ++idx) {
+      mismatches += serial.get(axis, idx) != parallel.get(axis, idx);
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
 }
 
 TEST(LutBuilderTest, DistillRejectsMismatchedReceptiveField) {
