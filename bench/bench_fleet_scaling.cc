@@ -1,0 +1,155 @@
+// Fleet serving scale-out: sessions x replicas x encode-cache sweeps.
+//
+// Exercises the serve/ subsystem the way a capacity-planning study would:
+//   1. session scale-up on a fixed replica pool (contention -> QoE tails),
+//   2. replica scale-out under a fixed 64-session load,
+//   3. encode-cache size sweep (hit rate vs eviction churn),
+//   4. ThreadPool scaling of the measured-SR fan-out with a bit-identity
+//      check across 1/2/4/8 workers (same discipline as bench_micro_kernels).
+// Every run reports QoE p50/p95/p99, stall rate, cache hit rate and bytes
+// served. VOLUT_BENCH_FLEET_SESSIONS overrides the base session count.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.h"
+#include "src/platform/timer.h"
+#include "src/serve/fleet.h"
+
+namespace {
+
+using namespace volut;
+
+std::size_t base_sessions() {
+  if (const char* env = std::getenv("VOLUT_BENCH_FLEET_SESSIONS")) {
+    const long v = std::atol(env);
+    if (v > 0) return std::size_t(v);
+  }
+  return 64;
+}
+
+/// Per-replica uplink capacity provisioned for the BASE load (base_sessions
+/// on 2 replicas at ~55% of full-density demand), then held fixed across the
+/// sweeps — scaling sessions up strains it, adding replicas relieves it.
+double provisioned_mbps() {
+  const std::vector<FleetClientConfig> probe = make_mixed_fleet(1, 0.0, 1);
+  VideoServer server(probe[0].session.video);
+  const double full_mbps = server.chunk_bytes(1.0, 1.0) * 8.0 / 1e6;
+  return full_mbps * double(base_sessions()) / 2.0 * 0.55;
+}
+
+FleetConfig fleet_config(std::size_t sessions, std::size_t replicas,
+                         std::size_t cache_mb) {
+  FleetConfig fleet;
+  fleet.clients = make_mixed_fleet(sessions, /*arrival_spacing=*/0.25,
+                                   /*max_chunks=*/20, /*video_scale=*/0.01);
+  const double mean_mbps = provisioned_mbps();
+  for (std::size_t r = 0; r < replicas; ++r) {
+    fleet.replica_uplinks.push_back(BandwidthTrace::lte(
+        mean_mbps, mean_mbps * 0.2, 600.0, 100 + r));
+  }
+  fleet.rtt_seconds = 0.020;
+  fleet.cache_budget_bytes = cache_mb << 20;
+  fleet.encode_seconds_full = 0.040;
+  return fleet;
+}
+
+void print_result_row(const char* label, const FleetResult& r,
+                      double wall_ms) {
+  std::printf("%-18s %8.1f %8.1f %8.1f %8.2f%% %7.0f%% %9.1f %9.0f\n", label,
+              r.normalized_qoe.p50, r.normalized_qoe.p95,
+              r.normalized_qoe.p99, 100.0 * r.stall_rate,
+              100.0 * r.cache.hit_rate(), r.total_bytes / 1e6, wall_ms);
+}
+
+void print_table_header() {
+  std::printf("%-18s %8s %8s %8s %9s %8s %9s %9s\n", "config", "QoE p50",
+              "QoE p95", "QoE p99", "stall", "cache", "MB", "wall ms");
+  bench::print_rule();
+}
+
+std::uint64_t fingerprint(const FleetResult& r) {
+  // FNV over the deterministic doubles; any cross-thread divergence flips it.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](double v) { h = bench::fnv1a(&v, sizeof(v), h); };
+  for (const SessionResult& s : r.sessions) {
+    mix(s.qoe);
+    mix(s.total_bytes);
+    mix(s.stall_seconds);
+  }
+  for (const FleetSrSample& s : r.sr_samples) mix(s.chamfer);
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = base_sessions();
+
+  bench::print_header("Fleet scaling: sessions on a 2-replica pool");
+  print_table_header();
+  for (std::size_t sessions : {n / 4, n / 2, n, n * 2}) {
+    const FleetConfig fleet = fleet_config(sessions, 2, 64);
+    Timer timer;
+    const FleetResult r = run_fleet(fleet);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu sessions", sessions);
+    print_result_row(label, r, timer.elapsed_ms());
+  }
+
+  bench::print_header("Replica scale-out under a fixed session load");
+  print_table_header();
+  for (std::size_t replicas : {1u, 2u, 4u, 8u}) {
+    const FleetConfig fleet = fleet_config(n, replicas, 64);
+    Timer timer;
+    const FleetResult r = run_fleet(fleet);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu replicas", replicas);
+    print_result_row(label, r, timer.elapsed_ms());
+  }
+
+  bench::print_header("Encode-cache size sweep (2 replicas)");
+  std::printf("%-18s %8s %8s %10s %10s %10s\n", "budget", "hits", "misses",
+              "evictions", "hit rate", "stall");
+  bench::print_rule();
+  for (std::size_t cache_mb : {1u, 4u, 16u, 64u, 256u}) {
+    const FleetConfig fleet = fleet_config(n, 2, cache_mb);
+    const FleetResult r = run_fleet(fleet);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu MB", cache_mb);
+    std::printf("%-18s %8llu %8llu %10llu %9.0f%% %9.2f%%\n", label,
+                (unsigned long long)r.cache.hits,
+                (unsigned long long)r.cache.misses,
+                (unsigned long long)r.cache.evictions,
+                100.0 * r.cache.hit_rate(), 100.0 * r.stall_rate);
+  }
+
+  bench::print_header(
+      "Measured-SR fan-out: ThreadPool scaling + bit-identity");
+  std::printf("(training refinement LUT for the measured-SR pipeline...)\n");
+  const bench::TrainedAssets assets =
+      bench::train_assets(bench::bench_scale(0.02), /*bins=*/16);
+  std::printf("%-18s %9s %12s %14s\n", "workers", "wall ms", "SR samples",
+              "fingerprint");
+  bench::print_rule();
+  FleetConfig measured = fleet_config(n, 2, 64);
+  measured.measure_sr_stride = 4;
+  measured.sr_lut = assets.lut;
+  std::uint64_t reference = 0;
+  bool identical = true;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    Timer timer;
+    const FleetResult r = run_fleet(measured, &pool);
+    const double wall = timer.elapsed_ms();
+    const std::uint64_t fp = fingerprint(r);
+    if (workers == 1) reference = fp;
+    identical = identical && fp == reference;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu workers", workers);
+    std::printf("%-18s %9.1f %12zu %14llx\n", label, wall,
+                r.sr_samples.size(), (unsigned long long)fp);
+  }
+  std::printf("\nbit-identical across worker counts: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BUG");
+  return identical ? 0 : 1;
+}

@@ -104,20 +104,10 @@ void BM_NeuralRefineInference(benchmark::State& state) {
 }
 BENCHMARK(BM_NeuralRefineInference);
 
-std::uint64_t fnv1a(const void* data, std::size_t bytes,
-                    std::uint64_t h = 1469598103934665603ull) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 std::uint64_t cloud_hash(const PointCloud& pc) {
   std::uint64_t h =
-      fnv1a(pc.positions().data(), pc.size() * sizeof(Vec3f));
-  return fnv1a(pc.colors().data(), pc.size() * sizeof(Color), h);
+      bench::fnv1a(pc.positions().data(), pc.size() * sizeof(Vec3f));
+  return bench::fnv1a(pc.colors().data(), pc.size() * sizeof(Color), h);
 }
 
 // Thread-scaling of the full SR anchor loop (kNN -> interpolation ->

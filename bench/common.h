@@ -7,6 +7,7 @@
 // scale.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -62,6 +63,18 @@ inline TrainedAssets train_assets(double scale, int bins = 32,
   assets.lut = std::make_shared<RefinementLut>(
       distill_lut(*assets.net, LutSpec{receptive_field, bins}, pool));
   return assets;
+}
+
+/// FNV-1a over raw bytes; the benches use it to fingerprint outputs for
+/// bit-identity checks across thread counts.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 inline void print_header(const std::string& title) {

@@ -1,0 +1,102 @@
+// Fleet serving walkthrough: many concurrent viewers, a small replica pool,
+// one shared encode cache.
+//
+// Runs a mixed fleet (VoLUT H1/H2, YuZu-SR and raw clients cycling the four
+// synthetic videos) against capacity-constrained replicas, then prints the
+// per-replica load, the encode-cache behavior, and the fleet QoE tail — the
+// serving-side view the single-session example (streaming_session) lacks.
+//
+// Usage: ./example_fleet_sim [sessions] [replicas]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/serve/fleet.h"
+
+int main(int argc, char** argv) {
+  using namespace volut;
+  const std::size_t sessions = argc > 1 ? std::size_t(std::atol(argv[1])) : 24;
+  const std::size_t replicas = argc > 2 ? std::size_t(std::atol(argv[2])) : 2;
+
+  FleetConfig fleet;
+  fleet.clients = make_mixed_fleet(sessions, /*arrival_spacing=*/0.5,
+                                   /*max_chunks=*/20, /*video_scale=*/0.01);
+  // Provision each replica at ~45% of what its share of viewers would need
+  // for full density — the constrained regime where ABR, fair-sharing and
+  // the encode cache all matter.
+  VideoServer probe(fleet.clients[0].session.video);
+  const double full_mbps = probe.chunk_bytes(1.0, 1.0) * 8.0 / 1e6;
+  const double mean_mbps =
+      full_mbps * double(sessions) / double(replicas) * 0.45;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    fleet.replica_uplinks.push_back(BandwidthTrace::lte(
+        mean_mbps, mean_mbps * 0.25, 600.0, 40 + r));
+  }
+  fleet.rtt_seconds = 0.020;
+  fleet.max_sessions_per_replica = (sessions + replicas - 1) / replicas + 2;
+  fleet.cache_budget_bytes = 32u << 20;
+  fleet.encode_seconds_full = 0.040;
+  fleet.measure_sr_stride = 5;
+
+  ThreadPool pool;  // sized from the device profile / VOLUT_THREADS
+  const FleetResult result = run_fleet(fleet, &pool);
+
+  std::printf("fleet: %zu sessions over %zu replicas (%zu admitted, %zu "
+              "rejected), %.1f s simulated\n",
+              sessions, replicas, result.admitted, result.rejected,
+              result.sim_seconds);
+
+  std::printf("\nper-replica load:\n");
+  for (std::size_t r = 0; r < result.replicas.size(); ++r) {
+    const ReplicaStats& stats = result.replicas[r];
+    std::printf("  replica %zu: %zu sessions, peak %zu concurrent flows, "
+                "%.1f MB served%s\n",
+                r, stats.sessions_assigned, stats.peak_concurrent_flows,
+                stats.bytes_completed / 1e6,
+                stats.uplink_trace_wraps > 0 ? " [uplink trace wrapped]" : "");
+  }
+
+  std::printf("\nencode cache: %llu hits / %llu misses (%.0f%% hit rate), "
+              "%llu evictions\n",
+              (unsigned long long)result.cache.hits,
+              (unsigned long long)result.cache.misses,
+              100.0 * result.cache.hit_rate(),
+              (unsigned long long)result.cache.evictions);
+
+  std::printf("\nfleet QoE (normalized 0-100):\n");
+  std::printf("  p50 %.1f   p95 %.1f   p99 %.1f   mean %.1f\n",
+              result.normalized_qoe.p50, result.normalized_qoe.p95,
+              result.normalized_qoe.p99, result.normalized_qoe.mean);
+  std::printf("  stall rate %.2f%%, %.1f MB total, %.0f s played\n",
+              100.0 * result.stall_rate, result.total_bytes / 1e6,
+              result.played_seconds);
+
+  if (!result.sr_samples.empty()) {
+    double chamfer = 0.0, ms = 0.0;
+    for (const FleetSrSample& s : result.sr_samples) {
+      chamfer += s.chamfer;
+      ms += s.sr_ms;
+    }
+    const double inv = 1.0 / double(result.sr_samples.size());
+    std::printf("\nmeasured SR on %zu sampled chunks: mean chamfer %.4f, "
+                "mean %.1f ms/frame\n",
+                result.sr_samples.size(), chamfer * inv, ms * inv);
+  }
+
+  std::printf("\nper-system QoE breakdown:\n");
+  std::printf("  %-24s %8s %10s %10s\n", "system", "n", "mean QoE", "stalls");
+  for (const char* wanted : {"volut-h1-continuous", "volut-h2-discrete",
+                             "yuzu-sr-h3", "raw"}) {
+    double qoe = 0.0, stalls = 0.0;
+    std::size_t count = 0;
+    for (const SessionResult& s : result.sessions) {
+      if (s.system != wanted) continue;
+      qoe += s.normalized_qoe();
+      stalls += s.stall_seconds;
+      ++count;
+    }
+    if (count == 0) continue;
+    std::printf("  %-24s %8zu %10.1f %9.1fs\n", wanted, count,
+                qoe / double(count), stalls);
+  }
+  return 0;
+}

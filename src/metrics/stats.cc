@@ -2,15 +2,43 @@
 
 namespace volut {
 
+namespace {
+
+/// Linear-interpolation percentile over an already-sorted, non-empty vector.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * double(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - double(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  const double rank =
-      std::clamp(p, 0.0, 100.0) / 100.0 * double(values.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - double(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return percentile_sorted(values, p);
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  RunningStats running;
+  for (double v : values) running.add(v);
+  s.count = running.count();
+  s.mean = running.mean();
+  s.stddev = running.stddev();
+  s.min = running.min();
+  s.max = running.max();
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = percentile_sorted(sorted, 50.0);
+  s.p90 = percentile_sorted(sorted, 90.0);
+  s.p95 = percentile_sorted(sorted, 95.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+  return s;
 }
 
 double harmonic_mean(const std::vector<double>& values) {

@@ -38,6 +38,23 @@ class RunningStats {
 /// p-th percentile (0..100) by linear interpolation; input copied and sorted.
 double percentile(std::vector<double> values, double p);
 
+/// Distribution rollup for fleet-level reporting: count/mean/min/max/stddev
+/// plus the tail percentiles the serving dashboards care about.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One-pass rollup of `values` (empty input yields an all-zero Summary).
+Summary summarize(const std::vector<double>& values);
+
 /// Harmonic mean; the throughput predictor of MPC-based ABR (§5.1).
 double harmonic_mean(const std::vector<double>& values);
 

@@ -1,0 +1,146 @@
+#include "src/net/shared_link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace volut {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Bounds segment walks the same way BandwidthTrace::transfer_time does.
+constexpr int kMaxSegments = 10'000'000;
+}  // namespace
+
+std::uint64_t SharedLink::start_flow(double bytes, const BandwidthTrace* cap) {
+  Flow flow;
+  flow.id = next_id_++;
+  flow.total_bytes = std::max(0.0, bytes);
+  flow.remaining_bits = flow.total_bytes * 8.0;
+  flow.cap = cap;
+  flows_.push_back(flow);
+  return flow.id;
+}
+
+double SharedLink::flow_rate_bps(const Flow& flow, double t,
+                                 std::size_t n) const {
+  double rate = trace_.bandwidth_at(t) * 1e6 / double(n);
+  if (flow.cap != nullptr && !flow.cap->empty()) {
+    rate = std::min(rate, flow.cap->bandwidth_at(t) * 1e6);
+  }
+  return rate;
+}
+
+double SharedLink::next_boundary(double t) const {
+  const double dt = trace_.sample_seconds();
+  double b = (std::floor(t / dt) + 1.0) * dt;
+  for (const Flow& f : flows_) {
+    if (f.cap != nullptr && !f.cap->empty()) {
+      const double cdt = f.cap->sample_seconds();
+      b = std::min(b, (std::floor(t / cdt) + 1.0) * cdt);
+    }
+  }
+  return b;
+}
+
+double SharedLink::next_completion_time(double now) const {
+  if (flows_.empty()) return kInf;
+  const std::size_t n = flows_.size();
+  std::vector<double> rem(n);
+  for (std::size_t i = 0; i < n; ++i) rem[i] = flows_[i].remaining_bits;
+  double t = std::max(0.0, now);
+  // Zero-capacity futility cutoff: every involved trace is periodic, so if
+  // no flow drains a single bit across a span covering a couple of full
+  // periods of each trace, capacity is effectively zero and nothing will
+  // ever complete — stop instead of grinding through kMaxSegments.
+  std::size_t dead_span = 2 * trace_.sample_count() + 4;
+  for (const Flow& f : flows_) {
+    if (f.cap != nullptr && !f.cap->empty()) {
+      dead_span = std::max(dead_span, 2 * f.cap->sample_count() + 4);
+    }
+  }
+  int idle_segments = 0;
+  // Until the first completion the flow set is fixed, so shares are too:
+  // walk trace segments draining every flow at its current rate. The
+  // arithmetic intentionally matches advance() bit for bit.
+  for (int guard = 0; guard < kMaxSegments; ++guard) {
+    const double boundary = next_boundary(t);
+    const double window = boundary - t;
+    double best = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double rate = flow_rate_bps(flows_[i], t, n);
+      if (rate <= 0.0) continue;
+      if (rate * window >= rem[i]) {
+        best = std::min(best, t + rem[i] / rate);
+      }
+    }
+    if (best < kInf) return best;
+    bool drained = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double rate = flow_rate_bps(flows_[i], t, n);
+      if (rate > 0.0) {
+        rem[i] -= rate * window;
+        drained = true;
+      }
+    }
+    idle_segments = drained ? 0 : idle_segments + 1;
+    if (std::size_t(idle_segments) > dead_span) return kInf;
+    t = boundary;
+  }
+  return kInf;
+}
+
+std::vector<SharedLink::Completion> SharedLink::advance(double now,
+                                                        double until) {
+  std::vector<Completion> done;
+  double t = std::max(0.0, now);
+  for (int guard = 0; guard < kMaxSegments; ++guard) {
+    if (flows_.empty() || t >= until) break;
+    const std::size_t n = flows_.size();
+    const double boundary = next_boundary(t);
+    const double segment_end = std::min(boundary, until);
+    std::vector<double> rates(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rates[i] = flow_rate_bps(flows_[i], t, n);
+    }
+    // Earliest completion within this segment at the current shares;
+    // lowest id wins ties (flows_ is in id order, strict < keeps the first).
+    std::size_t winner = n;
+    double t_complete = kInf;
+    const double window = boundary - t;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates[i] <= 0.0) continue;
+      if (rates[i] * window >= flows_[i].remaining_bits) {
+        const double tc = t + flows_[i].remaining_bits / rates[i];
+        if (tc < t_complete) {
+          t_complete = tc;
+          winner = i;
+        }
+      }
+    }
+    if (winner < n && t_complete <= segment_end) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == winner || rates[i] <= 0.0) continue;
+        const double amount = rates[i] * (t_complete - t);
+        flows_[i].remaining_bits -= amount;
+        bits_drained_ += amount;
+      }
+      bits_drained_ += flows_[winner].remaining_bits;
+      bytes_completed_ += flows_[winner].total_bytes;
+      done.push_back({flows_[winner].id, t_complete});
+      flows_.erase(flows_.begin() + std::ptrdiff_t(winner));
+      t = t_complete;
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates[i] <= 0.0) continue;
+      const double amount = rates[i] * (segment_end - t);
+      flows_[i].remaining_bits -= amount;
+      bits_drained_ += amount;
+    }
+    if (segment_end <= t) break;  // zero-width segment: no progress possible
+    t = segment_end;
+  }
+  return done;
+}
+
+}  // namespace volut

@@ -60,6 +60,11 @@ std::vector<BandwidthTrace> BandwidthTrace::paper_suite(std::uint64_t seed) {
   };
 }
 
+std::uint64_t BandwidthTrace::wrap_count(double t) const {
+  if (samples_.empty() || t < duration()) return 0;
+  return static_cast<std::uint64_t>(std::floor(t / duration()));
+}
+
 double BandwidthTrace::bandwidth_at(double t) const {
   if (samples_.empty()) return 0.0;
   const double wrapped = std::fmod(std::max(0.0, t), duration());

@@ -38,9 +38,22 @@ class BandwidthTrace {
   const std::string& name() const { return name_; }
   bool empty() const { return samples_.empty(); }
   double duration() const { return double(samples_.size()) * dt_; }
+  /// Width of one piecewise-constant sample.
+  double sample_seconds() const { return dt_; }
+  /// Number of recorded samples (one trace period = sample_count samples).
+  std::size_t sample_count() const { return samples_.size(); }
 
   /// Instantaneous bandwidth in Mbps at time t (periodic extension).
   double bandwidth_at(double t) const;
+
+  /// True once `t` lies past the recorded capture: bandwidth_at/transfer_time
+  /// silently repeat the trace there, so long simulations should surface this
+  /// instead of pretending the data kept going.
+  bool wrapped(double t) const { return !samples_.empty() && t >= duration(); }
+
+  /// How many complete passes of the trace lie before time `t` (0 while
+  /// within the first, genuine pass).
+  std::uint64_t wrap_count(double t) const;
 
   /// Seconds needed to transfer `bytes` starting at time `t0` (integrates
   /// the piecewise-constant rate). Returns +inf only if the trace is all

@@ -25,6 +25,9 @@ struct DeviceProfile {
 
   static DeviceProfile desktop();
   static DeviceProfile orange_pi();
+  /// The machine we are actually running on: no thread cap, no latency
+  /// scaling. Default-constructed thread pools size themselves from this.
+  static DeviceProfile host();
 };
 
 inline DeviceProfile DeviceProfile::desktop() {
@@ -33,6 +36,15 @@ inline DeviceProfile DeviceProfile::desktop() {
       .threads = 0,  // 0 = all hardware threads
       .latency_scale = 1.0,
       .memory_budget_bytes = 12ull << 30,  // 12 GB VRAM-class budget
+  };
+}
+
+inline DeviceProfile DeviceProfile::host() {
+  return DeviceProfile{
+      .name = "host",
+      .threads = 0,  // 0 = all hardware threads
+      .latency_scale = 1.0,
+      .memory_budget_bytes = 0,
   };
 }
 

@@ -1,12 +1,35 @@
 #include "src/platform/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "src/platform/device_profile.h"
 
 namespace volut {
 
+std::size_t default_worker_count(const DeviceProfile& profile) {
+  std::size_t n = profile.threads != 0
+                      ? profile.threads
+                      : std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("VOLUT_THREADS")) {
+    char* end = nullptr;
+    // strtol, not strtoul: "-1" must be rejected, not wrapped to 2^64-1.
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 65536) {
+      n = std::size_t(v);
+    }
+  }
+  return std::max<std::size_t>(1, n);
+}
+
+std::size_t default_worker_count() {
+  return default_worker_count(DeviceProfile::host());
+}
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
-    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers = default_worker_count();
   }
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

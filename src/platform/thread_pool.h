@@ -17,10 +17,21 @@
 
 namespace volut {
 
+struct DeviceProfile;
+
+/// Worker count a pool should default to on `profile`: the profile's thread
+/// cap, or every hardware thread when the profile leaves it at 0. The
+/// VOLUT_THREADS environment variable (positive integer) overrides both —
+/// the knob for pinning reproducible parallelism in CI and benchmarks.
+std::size_t default_worker_count(const DeviceProfile& profile);
+/// default_worker_count for the host machine's profile.
+std::size_t default_worker_count();
+
 class ThreadPool {
  public:
-  /// Creates a pool with `workers` threads (>=1; 0 means hardware
-  /// concurrency).
+  /// Creates a pool with `workers` threads (>=1; 0 means
+  /// default_worker_count(): the device profile's cap or, failing that,
+  /// hardware concurrency, overridable via VOLUT_THREADS).
   explicit ThreadPool(std::size_t workers = 0);
   ~ThreadPool();
 

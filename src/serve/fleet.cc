@@ -1,0 +1,336 @@
+#include "src/serve/fleet.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/metrics/chamfer.h"
+#include "src/sr/pipeline.h"
+#include "src/stream/server.h"
+
+namespace volut {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoReplica = std::size_t(-1);
+
+enum class ClientState {
+  kPending,      // not yet arrived
+  kIdle,         // will issue its next chunk request at t_next
+  kRequested,    // request in flight: RTT + (on cache miss) encode latency
+  kDownloading,  // owns an active flow on its replica's uplink
+  kDone,
+  kRejected,
+};
+
+struct ClientRuntime {
+  std::unique_ptr<SessionEngine> engine;
+  ClientState state = ClientState::kPending;
+  std::size_t replica = kNoReplica;
+  /// Next state-transition time for kPending/kIdle/kRequested.
+  double t_next = 0.0;
+  double issued_at = 0.0;
+  double flow_bytes = 0.0;
+  bool startup_flow = false;
+  ChunkPlan plan;
+};
+
+struct SrWorkItem {
+  std::size_t client = 0;
+  std::size_t chunk = 0;
+  double density_ratio = 1.0;
+  VideoSpec spec;
+  double chunk_seconds = 1.0;
+};
+
+EncodeCacheKey cache_key(const VideoSpec& spec, std::size_t chunk,
+                         double density_ratio, std::uint32_t buckets) {
+  EncodeCacheKey key;
+  key.video = static_cast<std::uint32_t>(spec.id);
+  key.points_per_frame = static_cast<std::uint32_t>(spec.points_per_frame);
+  key.content_seed = static_cast<std::uint32_t>(spec.seed);
+  key.chunk = static_cast<std::uint32_t>(chunk);
+  key.density_bucket = density_bucket(density_ratio, buckets);
+  return key;
+}
+
+/// Least-loaded replica with a free admission slot, lowest index on ties;
+/// kNoReplica when every replica is full.
+std::size_t route_arrival(const std::vector<std::size_t>& load,
+                          std::size_t cap) {
+  std::size_t best = kNoReplica;
+  for (std::size_t r = 0; r < load.size(); ++r) {
+    if (cap != 0 && load[r] >= cap) continue;
+    if (best == kNoReplica || load[r] < load[best]) best = r;
+  }
+  return best;
+}
+
+void measure_sr_samples(const std::vector<SrWorkItem>& work,
+                        std::shared_ptr<const RefinementLut> lut,
+                        std::vector<FleetSrSample>& out, ThreadPool* pool) {
+  out.resize(work.size());
+  if (lut == nullptr) {
+    // Blank LUT: zero refinement offsets, i.e. interpolation-only SR.
+    lut = std::make_shared<RefinementLut>(LutSpec{4, 16});
+  }
+  InterpolationConfig interp;
+  interp.dilation = 2;
+  // Every sample regenerates its own VideoServer (the server's sampling RNG
+  // is stateful) and writes one fixed slot, so the fan-out is bit-identical
+  // for any worker count. Only sr_ms is wall-clock and excluded from that
+  // guarantee.
+  run_chunked(pool, work.size(), 1,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t s = begin; s < end; ++s) {
+                  const SrWorkItem& item = work[s];
+                  VideoServer server(item.spec);
+                  const PointCloud low = server.encode_sample_frame(
+                      item.chunk, item.density_ratio, item.chunk_seconds);
+                  const PointCloud gt = server.ground_truth_frame(
+                      item.chunk, item.chunk_seconds);
+                  const SrPipeline pipeline(lut, interp, nullptr);
+                  const SrResult sr =
+                      pipeline.upsample(low, 1.0 / item.density_ratio);
+                  FleetSrSample& sample = out[s];
+                  sample.client = item.client;
+                  sample.chunk = item.chunk;
+                  sample.density_ratio = item.density_ratio;
+                  sample.chamfer = directed_chamfer(gt, sr.cloud);
+                  sample.sr_ms = sr.timing.total_ms();
+                }
+              });
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
+  if (config.replica_uplinks.empty()) {
+    throw std::invalid_argument("run_fleet: at least one replica required");
+  }
+  const std::size_t n_clients = config.clients.size();
+  const std::size_t n_replicas = config.replica_uplinks.size();
+
+  std::vector<SharedLink> links;
+  links.reserve(n_replicas);
+  for (const BandwidthTrace& uplink : config.replica_uplinks) {
+    links.emplace_back(uplink);
+  }
+  std::vector<std::unordered_map<std::uint64_t, std::size_t>> flow_owner(
+      n_replicas);
+  EncodeCache cache(config.cache_budget_bytes);
+  std::vector<ClientRuntime> clients(n_clients);
+  std::vector<std::size_t> load(n_replicas, 0);
+  std::vector<SrWorkItem> sr_work;
+
+  FleetResult result;
+  result.sessions.resize(n_clients);
+  result.replica_of.assign(n_clients, kNoReplica);
+  result.replicas.resize(n_replicas);
+
+  std::size_t remaining = n_clients;
+  std::size_t expected_chunks = 0;
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    clients[i].t_next = config.clients[i].arrival_seconds;
+    expected_chunks += config.clients[i].session.max_chunks + 2;
+  }
+
+  double now = 0.0;
+  // ~3 events per chunk (request, flow start, completion); anything far past
+  // that means the timeline stopped making progress.
+  const std::size_t max_events = 1000 + 16 * expected_chunks;
+  for (std::size_t iter = 0; remaining > 0 && iter < max_events; ++iter) {
+    // Next event: a client transition or the earliest flow completion.
+    double t_event = kInf;
+    for (const ClientRuntime& c : clients) {
+      if (c.state == ClientState::kPending || c.state == ClientState::kIdle ||
+          c.state == ClientState::kRequested) {
+        t_event = std::min(t_event, c.t_next);
+      }
+    }
+    for (const SharedLink& link : links) {
+      t_event = std::min(t_event, link.next_completion_time(now));
+    }
+    if (!(t_event < kInf)) break;  // stuck (e.g. an all-zero uplink trace)
+
+    // 1. Drain every uplink to the event time; settle completed chunks.
+    for (std::size_t r = 0; r < n_replicas; ++r) {
+      for (const SharedLink::Completion& done : links[r].advance(now, t_event)) {
+        const auto owner = flow_owner[r].find(done.id);
+        const std::size_t i = owner->second;
+        flow_owner[r].erase(owner);
+        ClientRuntime& c = clients[i];
+        if (c.startup_flow) {
+          c.startup_flow = false;
+          c.state = ClientState::kIdle;
+          c.t_next = done.time;
+          continue;
+        }
+        const double next_request =
+            c.engine->complete_chunk(c.plan, c.issued_at, done.time);
+        if (c.engine->done()) {
+          c.state = ClientState::kDone;
+          --load[c.replica];
+          --remaining;
+        } else {
+          c.state = ClientState::kIdle;
+          c.t_next = next_request;
+        }
+      }
+    }
+    now = t_event;
+
+    // 2. Requests whose RTT + encode latency elapsed become uplink flows.
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      ClientRuntime& c = clients[i];
+      if (c.state != ClientState::kRequested || c.t_next > now) continue;
+      const BandwidthTrace& downlink = config.clients[i].downlink;
+      const std::uint64_t id = links[c.replica].start_flow(
+          c.flow_bytes, downlink.empty() ? nullptr : &downlink);
+      flow_owner[c.replica][id] = i;
+      c.state = ClientState::kDownloading;
+      ReplicaStats& stats = result.replicas[c.replica];
+      stats.peak_concurrent_flows = std::max(stats.peak_concurrent_flows,
+                                             links[c.replica].active_flows());
+    }
+
+    // 3. Arrivals: admission control + least-loaded routing.
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      ClientRuntime& c = clients[i];
+      if (c.state != ClientState::kPending || c.t_next > now) continue;
+      const std::size_t r =
+          route_arrival(load, config.max_sessions_per_replica);
+      if (r == kNoReplica) {
+        c.state = ClientState::kRejected;
+        ++result.rejected;
+        --remaining;
+        continue;
+      }
+      c.replica = r;
+      ++load[r];
+      result.replica_of[i] = r;
+      ++result.replicas[r].sessions_assigned;
+      ++result.admitted;
+      c.engine = std::make_unique<SessionEngine>(config.clients[i].session,
+                                                 config.clients[i].motion,
+                                                 /*session_start=*/now);
+      if (c.engine->done()) {  // degenerate zero-chunk config
+        c.state = ClientState::kDone;
+        --load[r];
+        --remaining;
+        continue;
+      }
+      if (c.engine->has_startup_download()) {
+        c.state = ClientState::kRequested;
+        c.t_next = now + config.rtt_seconds;
+        c.issued_at = now;
+        c.flow_bytes = c.engine->startup_bytes();
+        c.startup_flow = true;
+      } else {
+        c.state = ClientState::kIdle;
+        c.t_next = now;
+      }
+    }
+
+    // 4. Idle clients at their request time plan the next chunk: ABR against
+    // the fair share they would get, then the shared encode cache decides
+    // whether the replica pays encode latency.
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      ClientRuntime& c = clients[i];
+      if (c.state != ClientState::kIdle || c.t_next > now) continue;
+      c.plan = c.engine->plan_chunk(now, links[c.replica].share_mbps(now));
+      const SessionConfig& session = c.engine->config();
+      // ViVo encodes are culled to the requesting viewer's predicted
+      // viewport, so they are per-client artifacts: always encoded fresh,
+      // never cached (and never poisoning the shared key space).
+      const bool cacheable = session.kind != SystemKind::kVivo;
+      const bool hit =
+          cacheable &&
+          cache.fetch(cache_key(session.video, c.plan.index,
+                                c.plan.density_ratio, config.density_buckets),
+                      static_cast<std::size_t>(c.plan.bytes));
+      const double encode_delay =
+          hit ? 0.0 : config.encode_seconds_full * c.plan.density_ratio;
+      if (config.measure_sr_stride != 0 &&
+          c.plan.index % config.measure_sr_stride == 0 &&
+          (session.kind == SystemKind::kVolutContinuous ||
+           session.kind == SystemKind::kVolutDiscrete)) {
+        sr_work.push_back({i, c.plan.index, c.plan.density_ratio,
+                           session.video, session.chunk_seconds});
+      }
+      c.state = ClientState::kRequested;
+      c.issued_at = now;
+      c.flow_bytes = c.plan.bytes;
+      c.startup_flow = false;
+      c.t_next = now + config.rtt_seconds + encode_delay;
+    }
+  }
+  result.sim_seconds = now;
+  for (const ClientRuntime& c : clients) {
+    if (c.state != ClientState::kDone && c.state != ClientState::kRejected) {
+      ++result.unfinished_sessions;
+    }
+  }
+  result.completed = result.unfinished_sessions == 0;
+
+  // ------------------------------------------------------------- rollups
+  std::vector<double> qoes, norms, stalls;
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    if (!clients[i].engine) continue;
+    result.sessions[i] = clients[i].engine->finish();
+    const SessionResult& s = result.sessions[i];
+    qoes.push_back(s.qoe);
+    norms.push_back(s.normalized_qoe());
+    stalls.push_back(s.stall_seconds);
+    result.total_bytes += s.total_bytes;
+    result.total_stall_seconds += s.stall_seconds;
+    result.played_seconds += double(s.chunks.size()) *
+                             config.clients[i].session.chunk_seconds;
+  }
+  result.qoe = summarize(qoes);
+  result.normalized_qoe = summarize(norms);
+  result.stall_seconds = summarize(stalls);
+  const double watched = result.total_stall_seconds + result.played_seconds;
+  result.stall_rate = watched > 0.0 ? result.total_stall_seconds / watched
+                                    : 0.0;
+  result.cache = cache.stats();
+  for (std::size_t r = 0; r < n_replicas; ++r) {
+    ReplicaStats& stats = result.replicas[r];
+    stats.bytes_completed = links[r].bytes_completed();
+    stats.bits_drained = links[r].bits_drained();
+    stats.uplink_trace_wraps = links[r].trace().wrap_count(now);
+  }
+
+  measure_sr_samples(sr_work, config.sr_lut, result.sr_samples, pool);
+  return result;
+}
+
+std::vector<FleetClientConfig> make_mixed_fleet(
+    std::size_t n, double arrival_spacing_seconds, std::size_t max_chunks,
+    double video_scale) {
+  static constexpr VideoId kVideos[] = {VideoId::kDress, VideoId::kLoot,
+                                        VideoId::kHaggle, VideoId::kLab};
+  static constexpr SystemKind kKinds[] = {
+      SystemKind::kVolutContinuous, SystemKind::kVolutDiscrete,
+      SystemKind::kYuzuSr, SystemKind::kRaw};
+  std::vector<FleetClientConfig> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FleetClientConfig& client = out[i];
+    client.arrival_seconds = double(i) * arrival_spacing_seconds;
+    client.session.kind = kKinds[i % 4];
+    // Groups of four neighbors share one video (same id, scale and content
+    // seed), which is what lets the encode cache deduplicate their fetches.
+    VideoSpec spec = VideoSpec::by_id(kVideos[(i / 4) % 4], video_scale);
+    spec.frame_count = std::max<std::size_t>(
+        spec.frame_count, max_chunks * std::size_t(spec.fps + 0.5));
+    spec.loops = 1;
+    client.session.video = spec;
+    client.session.max_chunks = max_chunks;
+  }
+  return out;
+}
+
+}  // namespace volut

@@ -1,0 +1,147 @@
+// Fleet serving simulator: N concurrent streaming sessions against a small
+// pool of server replicas.
+//
+// The single-session simulator (stream/session.h) models one client on one
+// private link; a production deployment serves millions of concurrent
+// viewers from shared infrastructure. This subsystem grows the model one
+// structural level: an event-driven timeline interleaves many SessionEngine
+// clients (staggered arrivals, mixed videos, mixed SystemKinds, optional
+// per-client access-link traces) that contend for
+//   * replica uplink capacity — each replica's BandwidthTrace is fair-shared
+//     across its active chunk downloads (net/shared_link.h),
+//   * server encode work — a fleet-wide LRU chunk-encode cache
+//     (serve/encode_cache.h) turns repeated (video, chunk, density-bucket)
+//     encodes into hits; misses pay a server-side encode latency,
+//   * admission slots — arrivals are routed to the least-loaded replica and
+//     rejected when every replica is at its session cap.
+// Per-session QoE rolls up into fleet percentiles via metrics/stats.
+//
+// Determinism: the timeline is strictly ordered (time, then event class,
+// then client index), so a fleet run is bit-identical for any ThreadPool
+// worker count — the pool only fans out the optional per-session SR
+// measurements, each of which writes its own result slot. A 1-client fleet
+// reproduces run_session for the same config (serve_test parity).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/data/motion_trace.h"
+#include "src/metrics/stats.h"
+#include "src/net/shared_link.h"
+#include "src/net/trace.h"
+#include "src/platform/thread_pool.h"
+#include "src/serve/encode_cache.h"
+#include "src/sr/lut.h"
+#include "src/stream/session.h"
+
+namespace volut {
+
+struct FleetClientConfig {
+  SessionConfig session;
+  /// When this viewer shows up (seconds into the fleet timeline).
+  double arrival_seconds = 0.0;
+  /// Optional access-link trace capping this client's download rate on top
+  /// of its replica-uplink share (empty = uplink-limited only).
+  BandwidthTrace downlink;
+  /// Head-motion trace for ViVo clients (unowned; may be null).
+  const MotionTrace* motion = nullptr;
+};
+
+struct FleetConfig {
+  std::vector<FleetClientConfig> clients;
+  /// One shared uplink per replica; at least one required.
+  std::vector<BandwidthTrace> replica_uplinks;
+  double rtt_seconds = 0.010;
+  /// Admission cap per replica (0 = unbounded). Arrivals beyond every
+  /// replica's cap are rejected, not queued.
+  std::size_t max_sessions_per_replica = 0;
+  /// Byte budget of the fleet-wide chunk-encode cache.
+  std::size_t cache_budget_bytes = 256u << 20;
+  /// Density-ratio ladder resolution for encode-cache keys.
+  std::uint32_t density_buckets = 16;
+  /// Server-side encode latency of a cache miss, in seconds for a
+  /// full-density chunk (scales linearly with density). 0 keeps hit/miss
+  /// accounting but makes encodes free — the run_session-parity setting.
+  double encode_seconds_full = 0.0;
+  /// Every k-th chunk of each VoLUT session also runs the real SR pipeline
+  /// on a sampled frame (0 = off). Samples fan out over the ThreadPool;
+  /// results land in fixed slots, so they are worker-count-independent.
+  std::size_t measure_sr_stride = 0;
+  /// Distilled refinement LUT for the measured-SR pipeline. When null a
+  /// blank (zero-offset) LUT is used, i.e. the chamfer numbers measure
+  /// dilated interpolation only — pass a trained LUT (e.g. bench
+  /// train_assets) to measure full VoLUT SR.
+  std::shared_ptr<const RefinementLut> sr_lut;
+};
+
+/// One measured SR data point. Everything except `sr_ms` (wall-clock) is
+/// deterministic.
+struct FleetSrSample {
+  std::size_t client = 0;
+  std::size_t chunk = 0;
+  double density_ratio = 1.0;
+  /// Ground-truth -> SR-output coverage error of the sampled frame
+  /// (interpolation-only unless FleetConfig::sr_lut supplies a trained LUT).
+  double chamfer = 0.0;
+  double sr_ms = 0.0;
+};
+
+struct ReplicaStats {
+  std::size_t sessions_assigned = 0;
+  std::size_t peak_concurrent_flows = 0;
+  double bytes_completed = 0.0;
+  double bits_drained = 0.0;
+  /// Times the uplink trace silently repeated during the run; nonzero means
+  /// the simulation outlived the capture (BandwidthTrace::wrap_count).
+  std::uint64_t uplink_trace_wraps = 0;
+};
+
+struct FleetResult {
+  /// Index-aligned with FleetConfig::clients; rejected clients keep a
+  /// default-constructed SessionResult (empty system name, no chunks).
+  std::vector<SessionResult> sessions;
+  /// Replica each client was routed to; SIZE_MAX for rejected clients.
+  std::vector<std::size_t> replica_of;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+
+  /// False when the timeline stopped before every admitted session finished
+  /// (dead uplink, event-budget exhaustion): session results and rollups
+  /// then cover truncated sessions and must not be read as a clean run.
+  bool completed = true;
+  /// Admitted sessions still mid-stream when the timeline stopped.
+  std::size_t unfinished_sessions = 0;
+
+  Summary qoe;             // raw Eq. 10 sums over admitted sessions
+  Summary normalized_qoe;  // 0..100 per session
+  Summary stall_seconds;   // per session
+  double total_bytes = 0.0;
+  double total_stall_seconds = 0.0;
+  double played_seconds = 0.0;
+  /// Fraction of wall time viewers spent stalled:
+  /// stall / (stall + played).
+  double stall_rate = 0.0;
+  double sim_seconds = 0.0;
+
+  EncodeCacheStats cache;
+  std::vector<ReplicaStats> replicas;
+  std::vector<FleetSrSample> sr_samples;
+};
+
+/// Runs the fleet to completion. `pool` (optional) parallelizes the
+/// measured-SR samples; the timeline itself is single-threaded and
+/// deterministic. Throws std::invalid_argument if no replicas are given.
+FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool = nullptr);
+
+/// Convenience mix: `n` clients with `arrival_spacing_seconds` staggered
+/// arrivals, cycling through the four synthetic videos and the evaluated
+/// systems (H1/H2/H3/raw). All clients of one video share content (same
+/// generator seed), which is what gives the encode cache something to do.
+std::vector<FleetClientConfig> make_mixed_fleet(
+    std::size_t n, double arrival_spacing_seconds, std::size_t max_chunks,
+    double video_scale = 0.01);
+
+}  // namespace volut

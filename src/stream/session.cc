@@ -1,9 +1,6 @@
 #include "src/stream/session.h"
 
 #include <algorithm>
-#include <memory>
-
-#include "src/abr/throughput.h"
 
 namespace volut {
 
@@ -25,209 +22,224 @@ double SessionResult::normalized_qoe() const {
   return std::max(0.0, 100.0 * qoe / ideal);
 }
 
-SessionResult run_session(const SessionConfig& config,
-                          const SimulatedLink& link,
-                          const MotionTrace* motion) {
-  SessionResult result;
-  result.system = system_name(config.kind);
+SessionEngine::SessionEngine(const SessionConfig& config,
+                             const MotionTrace* motion, double session_start)
+    : config_(config), motion_(motion), session_start_(session_start),
+      server_(config.video), estimator_(5) {
+  result_.system = system_name(config_.kind);
+  n_chunks_ = std::min<std::size_t>(config_.max_chunks,
+                                    server_.chunk_count(config_.chunk_seconds));
+  full_bytes_ = server_.chunk_bytes(1.0, config_.chunk_seconds);
 
-  VideoServer server(config.video);
-  const std::size_t n_chunks =
-      std::min<std::size_t>(config.max_chunks,
-                            server.chunk_count(config.chunk_seconds));
-  const double full_bytes =
-      server.chunk_bytes(1.0, config.chunk_seconds);
-
-  std::unique_ptr<AbrPolicy> abr;
-  switch (config.kind) {
+  switch (config_.kind) {
     case SystemKind::kVolutContinuous:
-      abr = std::make_unique<ContinuousMpcAbr>(config.qoe);
+      abr_ = std::make_unique<ContinuousMpcAbr>(config_.qoe);
       break;
     case SystemKind::kVolutDiscrete:
     case SystemKind::kYuzuSr:
-      abr = std::make_unique<DiscreteMpcAbr>(config.qoe);
+      abr_ = std::make_unique<DiscreteMpcAbr>(config_.qoe);
       break;
     case SystemKind::kVivo:
       // ViVo adapts quality per cell but has no SR: discrete ladder with
       // quality equal to the delivered density.
-      abr = std::make_unique<DiscreteMpcAbr>(config.qoe,
-                                             DiscreteMpcAbr::default_ladder(),
-                                             /*sr_enabled=*/false);
+      abr_ = std::make_unique<DiscreteMpcAbr>(config_.qoe,
+                                              DiscreteMpcAbr::default_ladder(),
+                                              /*sr_enabled=*/false);
       break;
     case SystemKind::kRaw:
       break;  // fixed policy handled inline
   }
 
-  // YuZu downloads its SR models up front; count the bytes and the time.
-  double clock = 0.0;
-  if (config.kind == SystemKind::kYuzuSr) {
-    result.total_bytes += config.yuzu_model_bytes;
-    clock = link.download_complete_time(config.yuzu_model_bytes, clock);
+  // YuZu downloads its SR models up front; count the bytes here, the caller
+  // simulates the transfer time.
+  if (config_.kind == SystemKind::kYuzuSr) {
+    startup_bytes_ = config_.yuzu_model_bytes;
+    result_.total_bytes += config_.yuzu_model_bytes;
   }
 
   // Coarse reference frame for ViVo visibility planning (one per session;
   // content extent is stable across frames).
-  PointCloud vivo_reference;
-  if (config.kind == SystemKind::kVivo) {
-    VideoSpec coarse = config.video;
+  if (config_.kind == SystemKind::kVivo) {
+    VideoSpec coarse = config_.video;
     coarse.points_per_frame = std::min<std::size_t>(
         coarse.points_per_frame, 2000);
-    vivo_reference = SyntheticVideo(coarse).frame(0);
+    vivo_reference_ = SyntheticVideo(coarse).frame(0);
+  }
+}
+
+SessionEngine::~SessionEngine() = default;
+
+ChunkPlan SessionEngine::plan_chunk(double now,
+                                    double observed_bandwidth_mbps) {
+  ChunkPlan plan;
+  plan.index = next_index_;
+  switch (config_.kind) {
+    case SystemKind::kVolutContinuous:
+    case SystemKind::kVolutDiscrete: {
+      AbrContext ctx;
+      ctx.throughput_mbps =
+          estimator_.estimate_mbps(observed_bandwidth_mbps * 0.8);
+      ctx.buffer_seconds = buffer_;
+      ctx.prev_density_ratio = prev_ratio_;
+      ctx.chunk_seconds = config_.chunk_seconds;
+      ctx.full_chunk_bytes = full_bytes_;
+      ctx.sr_seconds_per_chunk_full = config_.volut_sr_seconds_per_chunk;
+      ctx.horizon = config_.mpc_horizon;
+      ctx.max_buffer_seconds = config_.max_buffer_seconds;
+      const AbrDecision d = abr_->decide(ctx);
+      plan.density_ratio = d.density_ratio;
+      plan.fetch_fraction = d.density_ratio;
+      plan.quality = quality_score(d.density_ratio, config_.qoe, true);
+      plan.sr_seconds = config_.volut_sr_seconds_per_chunk * d.density_ratio;
+      break;
+    }
+    case SystemKind::kYuzuSr: {
+      AbrContext ctx;
+      ctx.throughput_mbps =
+          estimator_.estimate_mbps(observed_bandwidth_mbps * 0.8);
+      ctx.buffer_seconds = buffer_;
+      ctx.prev_density_ratio = prev_ratio_;
+      ctx.chunk_seconds = config_.chunk_seconds;
+      ctx.full_chunk_bytes = full_bytes_;
+      // YuZu's ABR does not model its SR latency (the stalls the paper
+      // attributes to slow SR under H3).
+      ctx.sr_seconds_per_chunk_full = 0.0;
+      ctx.horizon = config_.mpc_horizon;
+      ctx.max_buffer_seconds = config_.max_buffer_seconds;
+      const AbrDecision d = abr_->decide(ctx);
+      plan.density_ratio = d.density_ratio;
+      plan.fetch_fraction = d.density_ratio;
+      plan.quality = quality_score(d.density_ratio, config_.qoe, true);
+      // Neural SR cost scales with output points => flat at full density.
+      plan.sr_seconds = d.density_ratio < 1.0
+                            ? config_.yuzu_sr_seconds_per_chunk
+                            : 0.0;
+      break;
+    }
+    case SystemKind::kVivo: {
+      // Viewer motion runs on session-relative time: a client admitted at
+      // fleet time T samples its trace from 0, not from T.
+      const double t_decision = now - session_start_;
+      const double t_playback = double(next_index_) * config_.chunk_seconds +
+                                config_.chunk_seconds * 0.5;
+      Pose decision_pose, playback_pose;
+      if (motion_ != nullptr && !motion_->empty()) {
+        decision_pose =
+            motion_->pose(std::size_t(t_decision * motion_->fps()));
+        playback_pose =
+            motion_->pose(std::size_t(t_playback * motion_->fps()));
+      }
+      const VivoChunkPlan vivo = vivo_plan_chunk(
+          vivo_reference_, decision_pose, playback_pose, config_.vivo);
+      // Density adaptation on top of visibility-aware fetching. Both
+      // viewport culling (fewer bytes) and misprediction (lost coverage)
+      // come from the plan.
+      AbrContext ctx;
+      ctx.throughput_mbps =
+          estimator_.estimate_mbps(observed_bandwidth_mbps * 0.8);
+      ctx.buffer_seconds = buffer_;
+      ctx.prev_density_ratio = prev_ratio_;
+      ctx.chunk_seconds = config_.chunk_seconds;
+      ctx.full_chunk_bytes = full_bytes_ * vivo.fetch_fraction;
+      ctx.horizon = config_.mpc_horizon;
+      ctx.max_buffer_seconds = config_.max_buffer_seconds;
+      const AbrDecision d = abr_->decide(ctx);
+      plan.density_ratio = d.density_ratio;
+      plan.fetch_fraction = d.density_ratio * vivo.fetch_fraction;
+      plan.quality = quality_score(d.density_ratio, config_.qoe, false) *
+                     vivo.coverage;
+      break;
+    }
+    case SystemKind::kRaw:
+      plan.density_ratio = 1.0;
+      plan.fetch_fraction = 1.0;
+      plan.quality = 100.0;
+      break;
+  }
+  plan.bytes = full_bytes_ * plan.fetch_fraction;
+  return plan;
+}
+
+double SessionEngine::complete_chunk(const ChunkPlan& plan, double issued_at,
+                                     double completed_at) {
+  ChunkRecord rec;
+  rec.index = plan.index;
+  rec.density_ratio = plan.density_ratio;
+  rec.bytes = plan.bytes;
+  rec.download_seconds = completed_at - issued_at;
+  if (rec.download_seconds > 0.0) {
+    estimator_.add_sample(rec.bytes * 8.0 / rec.download_seconds / 1e6);
   }
 
-  ThroughputEstimator estimator(5);
-  double buffer = 0.0;
-  double prev_quality = -1.0;
-  double prev_ratio = 1.0;
-
-  for (std::size_t i = 0; i < n_chunks; ++i) {
-    ChunkRecord rec;
-    rec.index = i;
-
-    // ------------------------------------------------------------------ ABR
-    double fetch_fraction = 1.0;  // of full-density bytes
-    double quality = 100.0;
-    double sr_seconds = 0.0;
-    switch (config.kind) {
-      case SystemKind::kVolutContinuous:
-      case SystemKind::kVolutDiscrete: {
-        AbrContext ctx;
-        ctx.throughput_mbps = estimator.estimate_mbps(
-            link.trace.bandwidth_at(clock) * 0.8);
-        ctx.buffer_seconds = buffer;
-        ctx.prev_density_ratio = prev_ratio;
-        ctx.chunk_seconds = config.chunk_seconds;
-        ctx.full_chunk_bytes = full_bytes;
-        ctx.sr_seconds_per_chunk_full = config.volut_sr_seconds_per_chunk;
-        ctx.horizon = config.mpc_horizon;
-        ctx.max_buffer_seconds = config.max_buffer_seconds;
-        const AbrDecision d = abr->decide(ctx);
-        rec.density_ratio = d.density_ratio;
-        fetch_fraction = d.density_ratio;
-        quality = quality_score(d.density_ratio, config.qoe, true);
-        sr_seconds = config.volut_sr_seconds_per_chunk * d.density_ratio;
-        break;
-      }
-      case SystemKind::kYuzuSr: {
-        AbrContext ctx;
-        ctx.throughput_mbps = estimator.estimate_mbps(
-            link.trace.bandwidth_at(clock) * 0.8);
-        ctx.buffer_seconds = buffer;
-        ctx.prev_density_ratio = prev_ratio;
-        ctx.chunk_seconds = config.chunk_seconds;
-        ctx.full_chunk_bytes = full_bytes;
-        // YuZu's ABR does not model its SR latency (the stalls the paper
-        // attributes to slow SR under H3).
-        ctx.sr_seconds_per_chunk_full = 0.0;
-        ctx.horizon = config.mpc_horizon;
-        ctx.max_buffer_seconds = config.max_buffer_seconds;
-        const AbrDecision d = abr->decide(ctx);
-        rec.density_ratio = d.density_ratio;
-        fetch_fraction = d.density_ratio;
-        quality = quality_score(d.density_ratio, config.qoe, true);
-        // Neural SR cost scales with output points => flat at full density.
-        sr_seconds = d.density_ratio < 1.0
-                         ? config.yuzu_sr_seconds_per_chunk
-                         : 0.0;
-        break;
-      }
-      case SystemKind::kVivo: {
-        const double t_decision = clock;
-        const double t_playback =
-            double(i) * config.chunk_seconds + config.chunk_seconds * 0.5;
-        Pose decision_pose, playback_pose;
-        if (motion != nullptr && !motion->empty()) {
-          decision_pose =
-              motion->pose(std::size_t(t_decision * motion->fps()));
-          playback_pose =
-              motion->pose(std::size_t(t_playback * motion->fps()));
-        }
-        const VivoChunkPlan plan = vivo_plan_chunk(
-            vivo_reference, decision_pose, playback_pose, config.vivo);
-        // Density adaptation on top of visibility-aware fetching. Both
-        // viewport culling (fewer bytes) and misprediction (lost coverage)
-        // come from the plan.
-        AbrContext ctx;
-        ctx.throughput_mbps = estimator.estimate_mbps(
-            link.trace.bandwidth_at(clock) * 0.8);
-        ctx.buffer_seconds = buffer;
-        ctx.prev_density_ratio = prev_ratio;
-        ctx.chunk_seconds = config.chunk_seconds;
-        ctx.full_chunk_bytes = full_bytes * plan.fetch_fraction;
-        ctx.horizon = config.mpc_horizon;
-        ctx.max_buffer_seconds = config.max_buffer_seconds;
-        const AbrDecision d = abr->decide(ctx);
-        rec.density_ratio = d.density_ratio;
-        fetch_fraction = d.density_ratio * plan.fetch_fraction;
-        quality = quality_score(d.density_ratio, config.qoe, false) *
-                  plan.coverage;
-        break;
-      }
-      case SystemKind::kRaw:
-        rec.density_ratio = 1.0;
-        fetch_fraction = 1.0;
-        quality = 100.0;
-        break;
-    }
-
-    // ------------------------------------------------------------- download
-    rec.bytes = full_bytes * fetch_fraction;
-    const double t_done = link.download_complete_time(rec.bytes, clock);
-    rec.download_seconds = t_done - clock;
-    if (rec.download_seconds > 0.0) {
-      estimator.add_sample(rec.bytes * 8.0 / rec.download_seconds / 1e6);
-    }
-
-    // ------------------------------------------------ buffer/stall dynamics
-    // The client pipelines download and SR across chunks (§6 "multi-
-    // threading and system pipelining"): per-chunk busy time is the longer
-    // of the two stages plus a 25% overlap-inefficiency share of the
-    // shorter (pipeline bubbles, memory traffic).
-    rec.sr_seconds = sr_seconds;
-    const double busy =
-        std::max(rec.download_seconds, rec.sr_seconds) +
-        0.25 * std::min(rec.download_seconds, rec.sr_seconds);
-    const bool playing = i >= config.startup_chunks;
-    if (playing) {
-      rec.stall_seconds = std::max(0.0, busy - buffer);
-      buffer = std::max(0.0, buffer - busy) + config.chunk_seconds;
-    } else {
-      buffer += config.chunk_seconds;  // startup prefetch
-    }
-    buffer = std::min(buffer, config.max_buffer_seconds);
-    // When the buffer is full the client idles before the next request.
-    clock = t_done;
-    if (buffer >= config.max_buffer_seconds - 1e-9 && playing) {
-      clock += config.chunk_seconds * 0.25;
-    }
-
-    // ------------------------------------------------------------------ QoE
-    rec.quality = quality;
-    const double q_prev = prev_quality < 0.0 ? quality : prev_quality;
-    rec.qoe = chunk_qoe(quality, q_prev, rec.stall_seconds, config.qoe);
-    rec.buffer_after = buffer;
-
-    if (prev_quality >= 0.0 && std::abs(quality - prev_quality) > 1.0) {
-      ++result.quality_switches;
-    }
-    prev_quality = quality;
-    prev_ratio = rec.density_ratio;
-
-    result.total_bytes += rec.bytes;
-    result.stall_seconds += rec.stall_seconds;
-    result.qoe += rec.qoe;
-    result.mean_quality += quality;
-    result.mean_density += rec.density_ratio;
-    result.chunks.push_back(rec);
+  // The client pipelines download and SR across chunks (§6 "multi-
+  // threading and system pipelining"): per-chunk busy time is the longer
+  // of the two stages plus a 25% overlap-inefficiency share of the
+  // shorter (pipeline bubbles, memory traffic).
+  rec.sr_seconds = plan.sr_seconds;
+  const double busy =
+      std::max(rec.download_seconds, rec.sr_seconds) +
+      0.25 * std::min(rec.download_seconds, rec.sr_seconds);
+  const bool playing = plan.index >= config_.startup_chunks;
+  if (playing) {
+    rec.stall_seconds = std::max(0.0, busy - buffer_);
+    buffer_ = std::max(0.0, buffer_ - busy) + config_.chunk_seconds;
+  } else {
+    buffer_ += config_.chunk_seconds;  // startup prefetch
+  }
+  buffer_ = std::min(buffer_, config_.max_buffer_seconds);
+  // When the buffer is full the client idles before the next request.
+  double next_request = completed_at;
+  if (buffer_ >= config_.max_buffer_seconds - 1e-9 && playing) {
+    next_request += config_.chunk_seconds * 0.25;
   }
 
+  rec.quality = plan.quality;
+  const double q_prev = prev_quality_ < 0.0 ? plan.quality : prev_quality_;
+  rec.qoe = chunk_qoe(plan.quality, q_prev, rec.stall_seconds, config_.qoe);
+  rec.buffer_after = buffer_;
+
+  if (prev_quality_ >= 0.0 && std::abs(plan.quality - prev_quality_) > 1.0) {
+    ++result_.quality_switches;
+  }
+  prev_quality_ = plan.quality;
+  prev_ratio_ = rec.density_ratio;
+
+  result_.total_bytes += rec.bytes;
+  result_.stall_seconds += rec.stall_seconds;
+  result_.qoe += rec.qoe;
+  result_.mean_quality += rec.quality;
+  result_.mean_density += rec.density_ratio;
+  result_.chunks.push_back(rec);
+  ++next_index_;
+  return next_request;
+}
+
+SessionResult SessionEngine::finish() const {
+  SessionResult result = result_;
   if (!result.chunks.empty()) {
     result.mean_quality /= double(result.chunks.size());
     result.mean_density /= double(result.chunks.size());
     result.data_usage_fraction =
-        result.total_bytes / (full_bytes * double(result.chunks.size()));
+        result.total_bytes / (full_bytes_ * double(result.chunks.size()));
   }
   return result;
+}
+
+SessionResult run_session(const SessionConfig& config,
+                          const SimulatedLink& link,
+                          const MotionTrace* motion) {
+  SessionEngine engine(config, motion);
+  double clock = 0.0;
+  if (engine.has_startup_download()) {
+    clock = link.download_complete_time(engine.startup_bytes(), clock);
+  }
+  while (!engine.done()) {
+    const ChunkPlan plan =
+        engine.plan_chunk(clock, link.trace.bandwidth_at(clock));
+    const double t_done = link.download_complete_time(plan.bytes, clock);
+    clock = engine.complete_chunk(plan, clock, t_done);
+  }
+  return engine.finish();
 }
 
 }  // namespace volut

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/abr/mpc.h"
 #include "src/abr/qoe.h"
+#include "src/abr/throughput.h"
 #include "src/baselines/vivo.h"
 #include "src/data/motion_trace.h"
 #include "src/net/trace.h"
@@ -96,6 +98,85 @@ struct SessionResult {
 
   /// QoE normalized so that a stall-free full-density session scores 100.
   double normalized_qoe() const;
+};
+
+/// One ABR-planned chunk fetch: everything decided at request time.
+struct ChunkPlan {
+  std::size_t index = 0;
+  double density_ratio = 1.0;
+  /// Fraction of full-density bytes actually fetched (density times viewport
+  /// culling for ViVo).
+  double fetch_fraction = 1.0;
+  double bytes = 0.0;
+  double quality = 0.0;
+  double sr_seconds = 0.0;
+};
+
+/// Per-chunk session stepper: the ABR / buffer / QoE core of run_session,
+/// factored out so one timeline driver can interleave many sessions (the
+/// serve/ fleet simulator) while run_session keeps the single-link path.
+///
+/// Per chunk: plan_chunk() at request time, then complete_chunk() once the
+/// caller has simulated the download. The caller owns the clock and the link
+/// model; the engine owns ABR state, buffer dynamics and QoE accounting.
+class SessionEngine {
+ public:
+  /// `session_start` anchors session-relative time (viewer motion, playback
+  /// deadlines) when the caller's clock does not begin at this session's
+  /// start — run_fleet passes the client's admission time; run_session
+  /// leaves it at 0.
+  explicit SessionEngine(const SessionConfig& config,
+                         const MotionTrace* motion = nullptr,
+                         double session_start = 0.0);
+  ~SessionEngine();
+
+  SessionEngine(const SessionEngine&) = delete;
+  SessionEngine& operator=(const SessionEngine&) = delete;
+
+  const SessionConfig& config() const { return config_; }
+  bool done() const { return next_index_ >= n_chunks_; }
+  std::size_t next_index() const { return next_index_; }
+  std::size_t total_chunks() const { return n_chunks_; }
+  double full_chunk_bytes() const { return full_bytes_; }
+  /// True if the system fetches assets before the first chunk (YuZu SR
+  /// models). The request costs one RTT even when startup_bytes() is zero.
+  bool has_startup_download() const {
+    return config_.kind == SystemKind::kYuzuSr;
+  }
+  /// Bytes fetched before the first chunk (YuZu SR models). Already counted
+  /// in the result's data usage; the caller simulates the transfer time.
+  double startup_bytes() const { return startup_bytes_; }
+
+  /// ABR decision for the next chunk, issued at `now` with the link's
+  /// currently observable bandwidth (Mbps, pre-headroom). Call once per
+  /// chunk, paired with complete_chunk.
+  ChunkPlan plan_chunk(double now, double observed_bandwidth_mbps);
+
+  /// Applies download / SR-pipeline / buffer / QoE dynamics for a planned
+  /// chunk issued at `issued_at` and fully received at `completed_at`.
+  /// Returns the earliest time the client issues its next request.
+  double complete_chunk(const ChunkPlan& plan, double issued_at,
+                        double completed_at);
+
+  /// Finalizes means and data-usage fractions over the completed chunks.
+  SessionResult finish() const;
+
+ private:
+  SessionConfig config_;
+  const MotionTrace* motion_;
+  double session_start_ = 0.0;
+  VideoServer server_;
+  std::unique_ptr<AbrPolicy> abr_;
+  ThroughputEstimator estimator_;
+  PointCloud vivo_reference_;
+  std::size_t n_chunks_ = 0;
+  double full_bytes_ = 0.0;
+  double startup_bytes_ = 0.0;
+  std::size_t next_index_ = 0;
+  double buffer_ = 0.0;
+  double prev_quality_ = -1.0;
+  double prev_ratio_ = 1.0;
+  SessionResult result_;
 };
 
 /// Runs one session. `motion` is required for kVivo (viewport planning) and

@@ -180,6 +180,35 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
 }
 
+TEST(StatsTest, SummarizeRollsUpTailPercentiles) {
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) values.push_back(double(i));  // 1..100
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.5);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  // Percentiles must agree with the standalone helper.
+  EXPECT_DOUBLE_EQ(s.p95, percentile(values, 95.0));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(values, 99.0));
+}
+
+TEST(StatsTest, SummarizeEdgeCases) {
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  const Summary one = summarize({7.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.p50, 7.5);
+  EXPECT_DOUBLE_EQ(one.p99, 7.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
 TEST(StatsTest, HarmonicMean) {
   EXPECT_DOUBLE_EQ(harmonic_mean({4, 4, 4}), 4.0);
   EXPECT_NEAR(harmonic_mean({1, 2}), 4.0 / 3.0, 1e-12);

@@ -65,6 +65,24 @@ TEST(TraceTest, PaperSuiteShape) {
   EXPECT_NEAR(suite[5].mean_mbps(), 176.5, 10.0); // high LTE
 }
 
+TEST(TraceTest, WrapAccountingExposesPeriodicExtension) {
+  BandwidthTrace trace({10.0, 20.0}, 1.0);  // 2 s capture
+  EXPECT_FALSE(trace.wrapped(0.0));
+  EXPECT_FALSE(trace.wrapped(1.999));
+  EXPECT_TRUE(trace.wrapped(2.0));
+  EXPECT_TRUE(trace.wrapped(7.5));
+  EXPECT_EQ(trace.wrap_count(0.5), 0u);
+  EXPECT_EQ(trace.wrap_count(2.0), 1u);
+  EXPECT_EQ(trace.wrap_count(7.5), 3u);
+  EXPECT_DOUBLE_EQ(trace.sample_seconds(), 1.0);
+}
+
+TEST(TraceTest, EmptyTraceNeverWraps) {
+  BandwidthTrace trace;
+  EXPECT_FALSE(trace.wrapped(100.0));
+  EXPECT_EQ(trace.wrap_count(100.0), 0u);
+}
+
 TEST(LinkTest, DownloadIncludesRtt) {
   SimulatedLink link{BandwidthTrace::stable(80.0), 0.010};
   // 1 MB = 8 Mbit at 80 Mbps = 0.1 s, plus 10 ms RTT.

@@ -4,8 +4,11 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -141,6 +144,57 @@ TEST(ThreadPoolTest, SubmitFromWorkerTaskDoesNotDeadlock) {
   }
   pool.wait_idle();
   EXPECT_EQ(executed.load(), 50);
+}
+
+// Saves/clears VOLUT_THREADS around each test so these assertions hold even
+// when the ambient environment pins the knob, and a mid-test failure cannot
+// leak an override into later tests.
+class VolutThreadsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* current = std::getenv("VOLUT_THREADS");
+    if (current != nullptr) saved_ = current;
+    unsetenv("VOLUT_THREADS");
+  }
+  void TearDown() override {
+    if (saved_.has_value()) {
+      setenv("VOLUT_THREADS", saved_->c_str(), 1);
+    } else {
+      unsetenv("VOLUT_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST_F(VolutThreadsEnvTest, DefaultWorkerCountFollowsDeviceProfile) {
+  // Capped profiles pin the pool size; the host profile uses every hardware
+  // thread.
+  EXPECT_EQ(default_worker_count(DeviceProfile::orange_pi()), 4u);
+  EXPECT_GE(default_worker_count(DeviceProfile::host()), 1u);
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST_F(VolutThreadsEnvTest, VolutThreadsEnvOverridesDefault) {
+  ASSERT_EQ(setenv("VOLUT_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_worker_count(), 3u);
+  EXPECT_EQ(default_worker_count(DeviceProfile::orange_pi()), 3u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  // Malformed, non-positive or absurd values fall back to the profile.
+  ASSERT_EQ(setenv("VOLUT_THREADS", "zero", 1), 0);
+  EXPECT_EQ(default_worker_count(DeviceProfile::orange_pi()), 4u);
+  ASSERT_EQ(setenv("VOLUT_THREADS", "0", 1), 0);
+  EXPECT_EQ(default_worker_count(DeviceProfile::orange_pi()), 4u);
+  ASSERT_EQ(setenv("VOLUT_THREADS", "-1", 1), 0);
+  EXPECT_EQ(default_worker_count(DeviceProfile::orange_pi()), 4u);
+  ASSERT_EQ(setenv("VOLUT_THREADS", "9999999999", 1), 0);
+  EXPECT_EQ(default_worker_count(DeviceProfile::orange_pi()), 4u);
+  ASSERT_EQ(unsetenv("VOLUT_THREADS"), 0);
+  // Explicit worker counts are never overridden.
+  ThreadPool explicit_pool(2);
+  EXPECT_EQ(explicit_pool.worker_count(), 2u);
 }
 
 TEST(DeviceProfileTest, ProfilesAreDistinct) {

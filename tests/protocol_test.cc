@@ -83,6 +83,38 @@ TEST(ProtocolTest, TypeMismatchThrows) {
   EXPECT_THROW(decode_manifest(wrong), std::runtime_error);
 }
 
+TEST(ProtocolTest, TruncatedBodyThrows) {
+  // A frame whose header promises a POD body but delivers fewer bytes must
+  // be rejected by every decoder, not read out of bounds.
+  Message short_req = encode_chunk_request({7, 42, 0.5f});
+  short_req.body.resize(3);
+  EXPECT_THROW(decode_chunk_request(short_req), std::runtime_error);
+
+  Message short_manifest = encode_manifest({});
+  short_manifest.body.resize(short_manifest.body.size() - 1);
+  EXPECT_THROW(decode_manifest(short_manifest), std::runtime_error);
+
+  Message empty_error;
+  empty_error.type = MessageType::kError;
+  EXPECT_THROW(decode_error(empty_error), std::runtime_error);
+}
+
+TEST(ProtocolTest, TruncatedFrameStaysPendingAndResumes) {
+  // Half a frame is not an error — the parser waits for the rest and still
+  // yields the complete message afterwards.
+  Message m;
+  m.type = MessageType::kChunkRequest;
+  m.body.assign(64, 9);
+  const auto bytes = frame_message(m);
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size() / 2);
+  EXPECT_FALSE(parser.next().has_value());
+  parser.feed(bytes.data() + bytes.size() / 2, bytes.size() - bytes.size() / 2);
+  const auto out = parser.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->body, m.body);
+}
+
 class EndpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -155,6 +187,62 @@ TEST_F(EndpointTest, InvalidRequestsRejected) {
   EXPECT_THROW(client_->fetch_chunk(3, 99999, 0.5f), std::runtime_error);
   EXPECT_THROW(client_->fetch_chunk(3, 0, 1.5f), std::runtime_error);
   EXPECT_THROW(client_->fetch_chunk(3, 0, 0.0f), std::runtime_error);
+}
+
+// Drives the server over raw framed bytes (no VolutClient) to pin down the
+// exact error responses the wire protocol promises.
+class RawEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto [client_end, server_end] = InMemoryTransport::make_pair();
+    client_transport_ = std::move(client_end);
+    server_transport_ = std::move(server_end);
+    VideoSpec spec = VideoSpec::loot(0.01);
+    spec.frame_count = 600;
+    spec.loops = 1;
+    server_ = std::make_unique<ServerEndpoint>(spec, server_transport_.get());
+    client_transport_->set_receive_sink(
+        [this](const std::vector<std::uint8_t>& bytes) {
+          parser_.feed(bytes);
+        });
+  }
+
+  ErrorResponse roundtrip_error(const Message& request) {
+    client_transport_->send(frame_message(request));
+    const auto response = parser_.next();
+    EXPECT_TRUE(response.has_value());
+    return decode_error(*response);
+  }
+
+  std::unique_ptr<InMemoryTransport> client_transport_;
+  std::unique_ptr<InMemoryTransport> server_transport_;
+  std::unique_ptr<ServerEndpoint> server_;
+  FrameParser parser_;
+};
+
+TEST_F(RawEndpointTest, OutOfRangeChunkIndexGets400) {
+  EXPECT_EQ(roundtrip_error(encode_chunk_request({3, 99999, 0.5f})).code,
+            400u);
+  EXPECT_EQ(server_->chunks_served(), 0u);
+}
+
+TEST_F(RawEndpointTest, OutOfRangeDensityGets400) {
+  EXPECT_EQ(roundtrip_error(encode_chunk_request({3, 0, 0.0f})).code, 400u);
+  EXPECT_EQ(roundtrip_error(encode_chunk_request({3, 0, 1.5f})).code, 400u);
+  EXPECT_EQ(roundtrip_error(encode_chunk_request({3, 0, -0.25f})).code, 400u);
+}
+
+TEST_F(RawEndpointTest, UnknownMessageTypeGets405) {
+  Message bogus;
+  bogus.type = static_cast<MessageType>(99);
+  bogus.body = {1, 2, 3};
+  EXPECT_EQ(roundtrip_error(bogus).code, 405u);
+  // The connection survives: a valid request still works afterwards.
+  client_transport_->send(
+      frame_message(encode_manifest_request({3})));
+  const auto response = parser_.next();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(decode_manifest(*response).video_id, 3u);
 }
 
 TEST_F(EndpointTest, TracksBytesReceived) {

@@ -1,0 +1,85 @@
+// Integration sweep for the fleet simulator: a 64-session, 2-replica run
+// with the shared encode cache and measured SR enabled, checked for
+// bit-identical results across 1/2/4/8 pool workers (the acceptance bar for
+// the serve/ subsystem). Labeled "integration" in ctest.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/serve/fleet.h"
+
+namespace volut {
+namespace {
+
+FleetConfig sweep_config() {
+  FleetConfig fleet;
+  fleet.clients = make_mixed_fleet(/*n=*/64, /*arrival_spacing=*/0.25,
+                                   /*max_chunks=*/15, /*video_scale=*/0.01);
+  fleet.replica_uplinks = {BandwidthTrace::lte(120.0, 25.0, 600.0, 21),
+                           BandwidthTrace::lte(120.0, 25.0, 600.0, 22)};
+  fleet.rtt_seconds = 0.020;
+  fleet.max_sessions_per_replica = 48;
+  fleet.cache_budget_bytes = 64u << 20;
+  fleet.encode_seconds_full = 0.040;
+  fleet.measure_sr_stride = 5;
+  return fleet;
+}
+
+TEST(FleetSweepTest, SixtyFourSessionsTwoReplicas) {
+  const FleetConfig fleet = sweep_config();
+  const FleetResult result = run_fleet(fleet);
+
+  EXPECT_EQ(result.admitted, 64u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.qoe.count, 64u);
+  // Rollups are populated and ordered.
+  EXPECT_LE(result.qoe.p50, result.qoe.p99 + 1e-9);
+  EXPECT_LE(result.normalized_qoe.p95, 100.0 + 1e-9);
+  EXPECT_GE(result.stall_rate, 0.0);
+  EXPECT_LE(result.stall_rate, 1.0);
+  EXPECT_GT(result.total_bytes, 0.0);
+  EXPECT_GT(result.played_seconds, 0.0);
+  // Shared content across viewers must produce real cache reuse.
+  EXPECT_GT(result.cache.hits, 0u);
+  EXPECT_GT(result.cache.hit_rate(), 0.1);
+  // Both replicas carried sessions and bytes.
+  EXPECT_GT(result.replicas[0].sessions_assigned, 0u);
+  EXPECT_GT(result.replicas[1].sessions_assigned, 0u);
+  EXPECT_GT(result.replicas[0].bytes_completed, 0.0);
+  EXPECT_GT(result.replicas[1].bytes_completed, 0.0);
+  EXPECT_FALSE(result.sr_samples.empty());
+}
+
+TEST(FleetSweepTest, BitIdenticalAcrossPoolWorkerCounts) {
+  const FleetConfig fleet = sweep_config();
+  ThreadPool pool1(1);
+  const FleetResult reference = run_fleet(fleet, &pool1);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    const FleetResult run = run_fleet(fleet, &pool);
+    ASSERT_EQ(run.sessions.size(), reference.sessions.size());
+    for (std::size_t i = 0; i < run.sessions.size(); ++i) {
+      EXPECT_DOUBLE_EQ(run.sessions[i].qoe, reference.sessions[i].qoe)
+          << "session " << i << " @ " << workers << " workers";
+      EXPECT_DOUBLE_EQ(run.sessions[i].total_bytes,
+                       reference.sessions[i].total_bytes);
+      EXPECT_DOUBLE_EQ(run.sessions[i].stall_seconds,
+                       reference.sessions[i].stall_seconds);
+    }
+    EXPECT_DOUBLE_EQ(run.qoe.p50, reference.qoe.p50);
+    EXPECT_DOUBLE_EQ(run.qoe.p95, reference.qoe.p95);
+    EXPECT_DOUBLE_EQ(run.qoe.p99, reference.qoe.p99);
+    EXPECT_DOUBLE_EQ(run.stall_rate, reference.stall_rate);
+    EXPECT_EQ(run.cache.hits, reference.cache.hits);
+    EXPECT_EQ(run.cache.evictions, reference.cache.evictions);
+    ASSERT_EQ(run.sr_samples.size(), reference.sr_samples.size());
+    for (std::size_t i = 0; i < run.sr_samples.size(); ++i) {
+      EXPECT_DOUBLE_EQ(run.sr_samples[i].chamfer,
+                       reference.sr_samples[i].chamfer)
+          << "sample " << i << " @ " << workers << " workers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace volut

@@ -1,0 +1,420 @@
+// Tests for the fleet serving layer: encode cache eviction, fair-share link
+// conservation, admission/routing, single-session parity and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/net/shared_link.h"
+#include "src/serve/encode_cache.h"
+#include "src/serve/fleet.h"
+#include "src/stream/session.h"
+
+namespace volut {
+namespace {
+
+EncodeCacheKey key_of(std::uint32_t chunk, std::uint32_t bucket = 8) {
+  EncodeCacheKey key;
+  key.video = 1;
+  key.points_per_frame = 1000;
+  key.chunk = chunk;
+  key.density_bucket = bucket;
+  return key;
+}
+
+TEST(EncodeCacheTest, HitMissCounters) {
+  EncodeCache cache(1000);
+  EXPECT_FALSE(cache.fetch(key_of(0), 100));  // cold miss
+  EXPECT_TRUE(cache.fetch(key_of(0), 100));   // now resident
+  EXPECT_TRUE(cache.fetch(key_of(0), 100));
+  EXPECT_FALSE(cache.fetch(key_of(1), 100));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.bytes_cached(), 200u);
+  EXPECT_NEAR(cache.stats().hit_rate(), 0.5, 1e-12);
+}
+
+TEST(EncodeCacheTest, DensityBucketsSeparateEntries) {
+  EncodeCache cache(1000);
+  EXPECT_FALSE(cache.fetch(key_of(0, 4), 100));
+  EXPECT_FALSE(cache.fetch(key_of(0, 8), 100));  // same chunk, other bucket
+  EXPECT_TRUE(cache.fetch(key_of(0, 4), 100));
+  EXPECT_EQ(cache.entry_count(), 2u);
+}
+
+TEST(EncodeCacheTest, LruEvictionRespectsByteBudget) {
+  EncodeCache cache(100);
+  cache.fetch(key_of(0), 40);
+  cache.fetch(key_of(1), 40);
+  // Touch chunk 0 so chunk 1 is the LRU victim.
+  EXPECT_TRUE(cache.fetch(key_of(0), 40));
+  cache.fetch(key_of(2), 40);  // needs an eviction: 40+40+40 > 100
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes_cached(), 100u);
+  EXPECT_TRUE(cache.contains(key_of(0)));   // recently used: survives
+  EXPECT_FALSE(cache.contains(key_of(1)));  // LRU: evicted
+  EXPECT_TRUE(cache.contains(key_of(2)));
+}
+
+TEST(EncodeCacheTest, OversizedArtifactsNeverAdmitted) {
+  EncodeCache cache(100);
+  cache.fetch(key_of(0), 40);
+  EXPECT_FALSE(cache.fetch(key_of(1), 500));
+  EXPECT_FALSE(cache.fetch(key_of(1), 500));  // still a miss, still rejected
+  EXPECT_EQ(cache.stats().oversized_rejects, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);  // must not wipe the cache for it
+  EXPECT_TRUE(cache.contains(key_of(0)));
+}
+
+TEST(DensityBucketTest, MonotoneAndBounded) {
+  EXPECT_EQ(density_bucket(0.0, 16), 1u);
+  EXPECT_EQ(density_bucket(1.0, 16), 16u);
+  EXPECT_EQ(density_bucket(2.0, 16), 16u);  // clamped
+  std::uint32_t prev = 0;
+  for (double r = 0.01; r <= 1.0; r += 0.01) {
+    const std::uint32_t b = density_bucket(r, 16);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(SharedLinkTest, SingleFlowMatchesTransferTime) {
+  const BandwidthTrace trace = BandwidthTrace::lte(40.0, 12.0, 120.0, 5);
+  SharedLink link(trace);
+  const double t0 = 3.7;
+  const double bytes = 25e6;
+  link.start_flow(bytes);
+  const double expected = t0 + trace.transfer_time(bytes, t0);
+  EXPECT_NEAR(link.next_completion_time(t0), expected, 1e-9);
+  const auto done = link.advance(t0, link.next_completion_time(t0));
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].time, expected, 1e-9);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+TEST(SharedLinkTest, EqualFlowsShareCapacityFairly) {
+  // Two equal flows on a stable 80 Mbps link: each sees 40 Mbps, so 10 MB
+  // flows complete together at t = 2 s — twice the solo transfer time.
+  SharedLink link(BandwidthTrace::stable(80.0, 600.0));
+  link.start_flow(10e6);
+  link.start_flow(10e6);
+  const auto done = link.advance(0.0, 10.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0].time, 2.0, 1e-9);
+  EXPECT_NEAR(done[1].time, 2.0, 1e-9);
+  EXPECT_EQ(done[0].id, 1u);  // simultaneous completions: id order
+  EXPECT_EQ(done[1].id, 2u);
+}
+
+TEST(SharedLinkTest, SmallFlowFinishesFirstThenShareGrows) {
+  // 80 Mbps shared by a 5 MB and a 20 MB flow. Phase 1: both at 40 Mbps;
+  // the small one needs 1 s. Phase 2: the big one has 15 MB left at the
+  // full 80 Mbps -> 1.5 s more.
+  SharedLink link(BandwidthTrace::stable(80.0, 600.0));
+  const std::uint64_t small = link.start_flow(5e6);
+  const std::uint64_t big = link.start_flow(20e6);
+  const auto done = link.advance(0.0, 10.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, small);
+  EXPECT_NEAR(done[0].time, 1.0, 1e-9);
+  EXPECT_EQ(done[1].id, big);
+  EXPECT_NEAR(done[1].time, 2.5, 1e-9);
+}
+
+TEST(SharedLinkTest, ConservationUnderContention) {
+  // However many flows contend, drained bits over a saturated window equal
+  // the integral of the trace capacity.
+  const BandwidthTrace trace = BandwidthTrace::lte(60.0, 15.0, 300.0, 7);
+  SharedLink link(trace);
+  for (int i = 0; i < 5; ++i) link.start_flow(1e9);  // will not finish
+  const double horizon = 50.0;
+  link.advance(0.0, horizon);
+  double capacity_bits = 0.0;
+  const double dt = trace.sample_seconds();
+  for (double t = 0.0; t < horizon; t += dt) {
+    capacity_bits += trace.bandwidth_at(t) * 1e6 * dt;
+  }
+  EXPECT_NEAR(link.bits_drained(), capacity_bits, capacity_bits * 1e-9);
+  EXPECT_EQ(link.active_flows(), 5u);
+}
+
+TEST(SharedLinkTest, PerClientCapLimitsBelowFairShare) {
+  // 100 Mbps uplink, one flow capped at 10 Mbps: 10 MB takes 8 s, not 0.8 s.
+  const BandwidthTrace cap = BandwidthTrace::stable(10.0, 600.0);
+  SharedLink link(BandwidthTrace::stable(100.0, 600.0));
+  link.start_flow(10e6, &cap);
+  const auto done = link.advance(0.0, 20.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].time, 8.0, 1e-9);
+}
+
+TEST(SharedLinkTest, AdvanceAcrossChoppedWindowsIsConsistent) {
+  // Draining in many small steps must complete the flow at the same time as
+  // draining in one go (the fleet chops windows at global events).
+  const BandwidthTrace trace = BandwidthTrace::lte(40.0, 10.0, 120.0, 11);
+  SharedLink one(trace);
+  SharedLink many(trace);
+  one.start_flow(30e6);
+  many.start_flow(30e6);
+  const double t_one = one.next_completion_time(0.0);
+  one.advance(0.0, t_one);
+  double t = 0.0;
+  std::vector<SharedLink::Completion> done;
+  while (done.empty() && t < 100.0) {
+    const double step = std::min(t + 0.37, many.next_completion_time(t));
+    done = many.advance(t, step);
+    t = step;
+  }
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].time, t_one, 1e-6);
+}
+
+// ---------------------------------------------------------------- fleet ---
+
+SessionConfig small_session(SystemKind kind) {
+  SessionConfig cfg;
+  cfg.kind = kind;
+  cfg.video = VideoSpec::dress(0.01);
+  cfg.video.frame_count = 1200;
+  cfg.video.loops = 1;
+  cfg.max_chunks = 30;
+  return cfg;
+}
+
+TEST(FleetTest, OneClientFleetReproducesRunSession) {
+  const BandwidthTrace trace = BandwidthTrace::lte(40.0, 12.0, 300.0, 9);
+  const double rtt = 0.020;
+  for (SystemKind kind : {SystemKind::kVolutContinuous,
+                          SystemKind::kVolutDiscrete, SystemKind::kYuzuSr,
+                          SystemKind::kRaw}) {
+    const SessionConfig session = small_session(kind);
+    const SessionResult solo =
+        run_session(session, SimulatedLink{trace, rtt});
+
+    FleetConfig fleet;
+    fleet.clients.push_back({session, 0.0, {}, nullptr});
+    fleet.replica_uplinks = {trace};
+    fleet.rtt_seconds = rtt;
+    fleet.encode_seconds_full = 0.0;  // parity: encodes are free
+    const FleetResult result = run_fleet(fleet);
+
+    ASSERT_EQ(result.admitted, 1u);
+    const SessionResult& via_fleet = result.sessions[0];
+    ASSERT_EQ(via_fleet.chunks.size(), solo.chunks.size()) << solo.system;
+    EXPECT_NEAR(via_fleet.qoe, solo.qoe,
+                1e-6 * std::max(1.0, std::abs(solo.qoe)))
+        << solo.system;
+    EXPECT_NEAR(via_fleet.total_bytes, solo.total_bytes, 1e-3)
+        << solo.system;
+    EXPECT_NEAR(via_fleet.stall_seconds, solo.stall_seconds, 1e-6)
+        << solo.system;
+    for (std::size_t i = 0; i < solo.chunks.size(); ++i) {
+      EXPECT_NEAR(via_fleet.chunks[i].density_ratio,
+                  solo.chunks[i].density_ratio, 1e-9)
+          << solo.system << " chunk " << i;
+    }
+  }
+}
+
+TEST(FleetTest, SharedUplinkDegradesWithLoad) {
+  // Same replica capacity, 1 vs 6 clients: contention must cost QoE (or at
+  // least force lower fetched density).
+  const BandwidthTrace trace = BandwidthTrace::stable(60.0, 600.0);
+  FleetConfig solo;
+  solo.clients.push_back(
+      {small_session(SystemKind::kVolutContinuous), 0.0, {}, nullptr});
+  solo.replica_uplinks = {trace};
+  const FleetResult one = run_fleet(solo);
+
+  FleetConfig crowded = solo;
+  for (int i = 1; i < 6; ++i) {
+    crowded.clients.push_back(
+        {small_session(SystemKind::kVolutContinuous), 0.25 * i, {}, nullptr});
+  }
+  const FleetResult six = run_fleet(crowded);
+  EXPECT_GT(one.sessions[0].mean_density,
+            six.sessions[0].mean_density - 1e-12);
+  EXPECT_LT(six.qoe.mean, one.qoe.mean + 1e-9);
+  EXPECT_GT(six.replicas[0].peak_concurrent_flows, 1u);
+}
+
+TEST(FleetTest, AdmissionControlRejectsBeyondCapacityAndBalances) {
+  FleetConfig fleet;
+  for (int i = 0; i < 7; ++i) {
+    SessionConfig session = small_session(SystemKind::kRaw);
+    session.max_chunks = 5;
+    fleet.clients.push_back({session, 0.0, {}, nullptr});
+  }
+  fleet.replica_uplinks = {BandwidthTrace::stable(100.0, 600.0),
+                           BandwidthTrace::stable(100.0, 600.0)};
+  fleet.max_sessions_per_replica = 3;
+  const FleetResult result = run_fleet(fleet);
+  EXPECT_EQ(result.admitted, 6u);
+  EXPECT_EQ(result.rejected, 1u);
+  // Least-loaded routing: 3 sessions per replica.
+  EXPECT_EQ(result.replicas[0].sessions_assigned, 3u);
+  EXPECT_EQ(result.replicas[1].sessions_assigned, 3u);
+  // The rejected client produced no session record.
+  EXPECT_EQ(result.replica_of[6], std::size_t(-1));
+  EXPECT_TRUE(result.sessions[6].chunks.empty());
+}
+
+TEST(FleetTest, SharedVideoPopulatesEncodeCache) {
+  // Four raw clients on one video request identical full-density chunks:
+  // after the first viewer everything is a cache hit.
+  FleetConfig fleet;
+  for (int i = 0; i < 4; ++i) {
+    SessionConfig session = small_session(SystemKind::kRaw);
+    session.max_chunks = 10;
+    fleet.clients.push_back({session, 2.0 * i, {}, nullptr});
+  }
+  fleet.replica_uplinks = {BandwidthTrace::stable(200.0, 600.0)};
+  fleet.encode_seconds_full = 0.050;
+  const FleetResult result = run_fleet(fleet);
+  EXPECT_GT(result.cache.hits, 0u);
+  EXPECT_GT(result.cache.hit_rate(), 0.5);  // 3 of 4 viewers ride the cache
+  EXPECT_EQ(result.cache.hits + result.cache.misses, 40u);
+}
+
+TEST(FleetTest, CacheBudgetForcesEvictions) {
+  FleetConfig fleet;
+  for (int i = 0; i < 2; ++i) {
+    SessionConfig session = small_session(SystemKind::kRaw);
+    session.max_chunks = 12;
+    fleet.clients.push_back({session, 5.0 * i, {}, nullptr});
+  }
+  fleet.replica_uplinks = {BandwidthTrace::stable(200.0, 600.0)};
+  VideoServer probe(fleet.clients[0].session.video);
+  // Room for only ~2 full-density chunks: the second viewer arrives after
+  // the first's early chunks were already evicted.
+  fleet.cache_budget_bytes =
+      std::size_t(probe.chunk_bytes(1.0, 1.0) * 2.5);
+  const FleetResult result = run_fleet(fleet);
+  EXPECT_GT(result.cache.evictions, 0u);
+  EXPECT_LE(result.cache.hit_rate(), 0.5);
+}
+
+TEST(FleetTest, EncodeLatencySlowsColdFetches) {
+  FleetConfig fleet;
+  SessionConfig session = small_session(SystemKind::kRaw);
+  session.max_chunks = 10;
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.replica_uplinks = {BandwidthTrace::stable(100.0, 600.0)};
+  fleet.encode_seconds_full = 0.0;
+  const FleetResult fast = run_fleet(fleet);
+  fleet.encode_seconds_full = 0.200;
+  const FleetResult slow = run_fleet(fleet);
+  // A solo client never hits the cache, so every chunk pays the encode.
+  EXPECT_EQ(slow.cache.hits, 0u);
+  EXPECT_GT(slow.sessions[0].chunks[5].download_seconds,
+            fast.sessions[0].chunks[5].download_seconds + 0.19);
+}
+
+TEST(FleetTest, ReportsUplinkTraceWraps) {
+  FleetConfig fleet;
+  SessionConfig session = small_session(SystemKind::kVolutContinuous);
+  session.max_chunks = 20;
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  // A 1-second capture serving a multi-second session must report wrapping
+  // instead of silently looping.
+  fleet.replica_uplinks = {BandwidthTrace::stable(50.0, 1.0)};
+  const FleetResult result = run_fleet(fleet);
+  EXPECT_GT(result.sim_seconds, 1.0);
+  EXPECT_GE(result.replicas[0].uplink_trace_wraps, 1u);
+  EXPECT_TRUE(fleet.replica_uplinks[0].wrapped(result.sim_seconds));
+}
+
+TEST(FleetTest, MeasuredSrSamplesAreDeterministicAcrossPools) {
+  FleetConfig fleet;
+  fleet.clients = make_mixed_fleet(8, 0.5, 12, 0.01);
+  fleet.replica_uplinks = {BandwidthTrace::lte(80.0, 20.0, 300.0, 3),
+                           BandwidthTrace::lte(80.0, 20.0, 300.0, 4)};
+  fleet.encode_seconds_full = 0.030;
+  fleet.measure_sr_stride = 4;
+
+  ThreadPool pool1(1), pool4(4);
+  const FleetResult a = run_fleet(fleet, &pool1);
+  const FleetResult b = run_fleet(fleet, &pool4);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sessions[i].qoe, b.sessions[i].qoe);
+    EXPECT_DOUBLE_EQ(a.sessions[i].total_bytes, b.sessions[i].total_bytes);
+  }
+  ASSERT_FALSE(a.sr_samples.empty());
+  ASSERT_EQ(a.sr_samples.size(), b.sr_samples.size());
+  for (std::size_t i = 0; i < a.sr_samples.size(); ++i) {
+    EXPECT_EQ(a.sr_samples[i].client, b.sr_samples[i].client);
+    EXPECT_EQ(a.sr_samples[i].chunk, b.sr_samples[i].chunk);
+    EXPECT_DOUBLE_EQ(a.sr_samples[i].chamfer, b.sr_samples[i].chamfer);
+  }
+  EXPECT_DOUBLE_EQ(a.qoe.p99, b.qoe.p99);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+}
+
+TEST(FleetTest, LateVivoArrivalSamplesMotionFromSessionStart) {
+  // Two identical ViVo viewers, one arriving 7 s late, each alone on an
+  // identical stable replica: their viewport planning must see the same
+  // session-relative head motion, so per-chunk quality sequences match.
+  MotionTraceSpec mspec;
+  mspec.frames = 1500;
+  const MotionTrace motion = MotionTrace::generate(mspec, 2);
+  SessionConfig session = small_session(SystemKind::kVivo);
+  session.max_chunks = 12;
+  FleetConfig fleet;
+  fleet.clients.push_back({session, 0.0, {}, &motion});
+  fleet.clients.push_back({session, 7.0, {}, &motion});
+  fleet.replica_uplinks = {BandwidthTrace::stable(40.0, 600.0),
+                           BandwidthTrace::stable(40.0, 600.0)};
+  fleet.max_sessions_per_replica = 1;
+  const FleetResult result = run_fleet(fleet);
+  ASSERT_EQ(result.admitted, 2u);
+  const auto& early = result.sessions[0].chunks;
+  const auto& late = result.sessions[1].chunks;
+  ASSERT_EQ(early.size(), late.size());
+  for (std::size_t i = 0; i < early.size(); ++i) {
+    EXPECT_NEAR(early[i].quality, late[i].quality, 1e-9) << "chunk " << i;
+    EXPECT_NEAR(early[i].density_ratio, late[i].density_ratio, 1e-9);
+  }
+}
+
+TEST(SharedLinkTest, DeadTraceReturnsInfinityQuickly) {
+  SharedLink link(BandwidthTrace({0.0, 0.0}, 0.5));
+  link.start_flow(1e6);
+  // Must detect futility after ~one trace period, not walk 10M segments.
+  EXPECT_EQ(link.next_completion_time(0.0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(FleetTest, DeadUplinkFlagsTruncatedRun) {
+  FleetConfig fleet;
+  SessionConfig session = small_session(SystemKind::kRaw);
+  session.max_chunks = 5;
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.replica_uplinks = {BandwidthTrace({0.0, 0.0}, 1.0)};
+  const FleetResult result = run_fleet(fleet);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.unfinished_sessions, 1u);
+}
+
+TEST(FleetTest, HealthyRunReportsCompleted) {
+  FleetConfig fleet;
+  fleet.clients.push_back(
+      {small_session(SystemKind::kRaw), 0.0, {}, nullptr});
+  fleet.replica_uplinks = {BandwidthTrace::stable(100.0, 600.0)};
+  const FleetResult result = run_fleet(fleet);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.unfinished_sessions, 0u);
+}
+
+TEST(FleetTest, RequiresAtLeastOneReplica) {
+  FleetConfig fleet;
+  fleet.clients.push_back(
+      {small_session(SystemKind::kRaw), 0.0, {}, nullptr});
+  EXPECT_THROW(run_fleet(fleet), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace volut
