@@ -61,6 +61,19 @@ void print_result_row(const char* label, const FleetResult& r,
               100.0 * r.cache.hit_rate(), r.total_bytes / 1e6, wall_ms);
 }
 
+void record_result(bench::JsonReporter& json, const std::string& sweep,
+                   const std::string& label, const FleetResult& r,
+                   double wall_ms) {
+  const std::string prefix = sweep + "/" + label;
+  json.add(prefix + "/qoe_p50", r.normalized_qoe.p50, "qoe");
+  json.add(prefix + "/qoe_p95", r.normalized_qoe.p95, "qoe");
+  json.add(prefix + "/qoe_p99", r.normalized_qoe.p99, "qoe");
+  json.add(prefix + "/stall_rate", r.stall_rate, "fraction");
+  json.add(prefix + "/cache_hit_rate", r.cache.hit_rate(), "fraction");
+  json.add(prefix + "/total_mb", r.total_bytes / 1e6, "MB");
+  json.add(prefix + "/wall_ms", wall_ms, "ms");
+}
+
 void print_table_header() {
   std::printf("%-18s %8s %8s %8s %9s %8s %9s %9s\n", "config", "QoE p50",
               "QoE p95", "QoE p99", "stall", "cache", "MB", "wall ms");
@@ -82,7 +95,9 @@ std::uint64_t fingerprint(const FleetResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json =
+      bench::JsonReporter::from_args(argc, argv, "bench_fleet_scaling");
   const std::size_t n = base_sessions();
 
   bench::print_header("Fleet scaling: sessions on a 2-replica pool");
@@ -91,9 +106,12 @@ int main() {
     const FleetConfig fleet = fleet_config(sessions, 2, 64);
     Timer timer;
     const FleetResult r = run_fleet(fleet);
+    const double wall = timer.elapsed_ms();
     char label[64];
     std::snprintf(label, sizeof(label), "%zu sessions", sessions);
-    print_result_row(label, r, timer.elapsed_ms());
+    print_result_row(label, r, wall);
+    std::snprintf(label, sizeof(label), "%zu_sessions", sessions);
+    record_result(json, "sessions", label, r, wall);
   }
 
   bench::print_header("Replica scale-out under a fixed session load");
@@ -102,9 +120,12 @@ int main() {
     const FleetConfig fleet = fleet_config(n, replicas, 64);
     Timer timer;
     const FleetResult r = run_fleet(fleet);
+    const double wall = timer.elapsed_ms();
     char label[64];
     std::snprintf(label, sizeof(label), "%zu replicas", replicas);
-    print_result_row(label, r, timer.elapsed_ms());
+    print_result_row(label, r, wall);
+    std::snprintf(label, sizeof(label), "%zu_replicas", replicas);
+    record_result(json, "replicas", label, r, wall);
   }
 
   bench::print_header("Encode-cache size sweep (2 replicas)");
@@ -121,6 +142,12 @@ int main() {
                 (unsigned long long)r.cache.misses,
                 (unsigned long long)r.cache.evictions,
                 100.0 * r.cache.hit_rate(), 100.0 * r.stall_rate);
+    std::snprintf(label, sizeof(label), "cache/%zu_mb", cache_mb);
+    json.add(std::string(label) + "/hit_rate", r.cache.hit_rate(),
+             "fraction");
+    json.add(std::string(label) + "/evictions", double(r.cache.evictions),
+             "count");
+    json.add(std::string(label) + "/stall_rate", r.stall_rate, "fraction");
   }
 
   bench::print_header(
@@ -148,8 +175,13 @@ int main() {
     std::snprintf(label, sizeof(label), "%zu workers", workers);
     std::printf("%-18s %9.1f %12zu %14llx\n", label, wall,
                 r.sr_samples.size(), (unsigned long long)fp);
+    std::snprintf(label, sizeof(label), "measured_sr/%zu_workers/wall_ms",
+                  workers);
+    json.add(label, wall, "ms");
   }
   std::printf("\nbit-identical across worker counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM BUG");
+  json.add("measured_sr/bit_identical", identical ? 1.0 : 0.0, "bool");
+  if (!json.write()) return 1;
   return identical ? 0 : 1;
 }

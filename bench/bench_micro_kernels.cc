@@ -1,11 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels underlying the
 // paper's headline numbers: per-point LUT lookup vs per-point neural
 // inference (the §4.2 claim of >99.9% refinement-latency reduction), spatial
-// queries, position encoding and float16 conversion.
+// queries, position encoding, float16 conversion, and the stage-2
+// interpolation rewrite (thread scaling + steady-state allocation count).
+//
+// Run with `--json <path>` to also emit machine-readable results (see
+// bench/common.h JsonReporter); CI uploads that file as a per-PR artifact.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "bench/common.h"
 #include "src/core/half.h"
@@ -18,6 +26,59 @@
 #include "src/sr/pipeline.h"
 #include "src/sr/position_encoding.h"
 #include "src/sr/refine_net.h"
+
+// ---------------------------------------------------------------------------
+// Process-wide allocation counter. Replacing the global operators lets the
+// steady-state benchmarks assert "zero heap allocations in the neighbor
+// path" as a measured fact rather than a code-review claim.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+// Set alongside every state.SkipWithError call so main() can exit nonzero.
+// Tracked here rather than via the reporter's Run fields because the error
+// API differs across google-benchmark versions (error_occurred was replaced
+// by the skipped enum in 1.8).
+std::atomic<bool> g_bench_error{false};
+
+void fail_benchmark(benchmark::State& state, const char* message) {
+  g_bench_error.store(true, std::memory_order_relaxed);
+  state.SkipWithError(message);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace volut {
 namespace {
@@ -146,7 +207,7 @@ void BM_SrPipelineThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(hash);
   }
   if (hash != fixture.reference_hash) {
-    state.SkipWithError("multi-thread SR output differs from single-thread");
+    fail_benchmark(state, "multi-thread SR output differs from single-thread");
   }
   state.counters["identical"] = hash == fixture.reference_hash ? 1 : 0;
   state.counters["input_points"] = static_cast<double>(fixture.low.size());
@@ -185,13 +246,150 @@ void BM_MergeAndPrune(benchmark::State& state) {
   const auto a = tree.knn(pts[10], 8);
   const auto b = tree.knn(pts[20], 8);
   const Vec3f mid = midpoint(pts[10], pts[20]);
+  std::array<Neighbor, 8> out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(merge_and_prune(a, b, mid, pts, 4));
+    benchmark::DoNotOptimize(merge_and_prune_into(a, b, mid, pts, 4, out));
   }
 }
 BENCHMARK(BM_MergeAndPrune);
 
+std::uint64_t interp_fingerprint(const InterpolationResult& r) {
+  std::uint64_t h =
+      bench::fnv1a(r.cloud.positions().data(), r.cloud.size() * sizeof(Vec3f));
+  h = bench::fnv1a(r.cloud.colors().data(), r.cloud.size() * sizeof(Color), h);
+  return bench::fnv1a(
+      r.parents.data(),
+      r.parents.size() * sizeof(std::array<std::uint32_t, 2>), h);
+}
+
+struct InterpFixture {
+  PointCloud cloud;
+  InterpolationConfig cfg;
+  std::uint64_t reference = 0;
+  InterpFixture() {
+    const SyntheticVideo video(
+        VideoSpec::dress(bench::bench_scale(/*fallback=*/0.2)));
+    Rng rng(31);
+    cloud = video.frame(0).random_downsample(0.5f, rng);
+    cfg.k = 4;
+    cfg.dilation = 2;
+    reference = interp_fingerprint(interpolate(cloud, 2.0, cfg));
+  }
+};
+
+// Thread scaling of interpolate() alone — the counter-based stage-2 schedule
+// makes the previously serial midpoint stage parallel, so interp_ms must
+// both shrink with workers (on multicore hosts) and hash identically at
+// every worker count.
+void BM_InterpolateThreads(benchmark::State& state) {
+  static InterpFixture fixture;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  InterpolationScratch scratch;
+  InterpolationResult result;
+  std::uint64_t hash = fixture.reference;
+  for (auto _ : state) {
+    interpolate_into(fixture.cloud, 2.0, fixture.cfg, result, pool_ptr,
+                     &scratch);
+    hash = interp_fingerprint(result);
+    benchmark::DoNotOptimize(hash);
+  }
+  if (hash != fixture.reference) {
+    fail_benchmark(state,
+                   "multi-thread interpolate differs from single-thread");
+  }
+  state.counters["identical"] = hash == fixture.reference ? 1 : 0;
+  state.counters["input_points"] = static_cast<double>(fixture.cloud.size());
+  state.counters["interp_ms"] = result.timing.interpolate_ms;
+  state.counters["knn_ms"] = result.timing.knn_ms;
+}
+BENCHMARK(BM_InterpolateThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Steady-state allocation count of the full interpolate() frame loop on a
+// reused scratch + result (serial: the pool's task dispatch is outside the
+// neighbor path). After the warm-up frame sizes every arena, subsequent
+// frames must not touch the heap at all — the acceptance bar for the flat
+// NeighborBuffer layout.
+void BM_InterpolateSteadyStateAllocs(benchmark::State& state) {
+  static InterpFixture fixture;
+  InterpolationScratch scratch;
+  InterpolationResult result;
+  interpolate_into(fixture.cloud, 2.0, fixture.cfg, result, nullptr,
+                   &scratch);  // warm-up frame grows all buffers
+  std::uint64_t allocs = 0;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    interpolate_into(fixture.cloud, 2.0, fixture.cfg, result, nullptr,
+                     &scratch);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++frames;
+  }
+  if (allocs != 0) {
+    fail_benchmark(state, "steady-state interpolate allocated on the heap");
+  }
+  state.counters["allocs_per_frame"] =
+      frames > 0 ? double(allocs) / double(frames) : 0.0;
+  state.counters["arena_bytes"] =
+      static_cast<double>(scratch.dilated.arena_capacity_bytes());
+}
+BENCHMARK(BM_InterpolateSteadyStateAllocs)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace volut
 
-BENCHMARK_MAIN();
+namespace {
+
+// Forwards the normal console output and mirrors every per-iteration result
+// (plus its user counters) into the shared JsonReporter. Errored runs are
+// recorded too (their `identical`/`allocs_per_frame` counters are the
+// evidence); the process exit code comes from g_bench_error instead of the
+// reporter, because Run's error fields changed across benchmark versions.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(volut::bench::JsonReporter* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      json_->add(name, run.GetAdjustedRealTime(),
+                 benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter, value] : run.counters) {
+        json_->add(name + "/" + counter, value.value, "counter");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  volut::bench::JsonReporter* json_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  volut::bench::JsonReporter json =
+      volut::bench::JsonReporter::from_args(argc, argv, "bench_micro_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json.write()) return 1;
+  if (g_bench_error.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "bench_micro_kernels: a benchmark reported an "
+                         "error (see SkipWithError output above)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/rng.h"
 #include "src/data/synthetic_video.h"
@@ -76,6 +78,107 @@ inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
   }
   return h;
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every bench accepts `--json <path>` and, when
+// given, writes a flat array of (name, value, unit) records alongside its
+// human-readable tables. CI uploads these files as per-PR artifacts, so the
+// repo accrues a perf trajectory instead of scrollback-only numbers.
+// Schema:
+//   {"schema": "volut-bench-v1", "benchmark": "<binary>",
+//    "results": [{"name": ..., "value": ..., "unit": ...}, ...]}
+// ---------------------------------------------------------------------------
+
+class JsonReporter {
+ public:
+  /// Scans argv for `--json <path>` (or `--json=<path>`) and removes it so
+  /// downstream argument parsers (e.g. google-benchmark) never see it.
+  /// Returns a disabled reporter when the flag is absent.
+  static JsonReporter from_args(int& argc, char** argv,
+                                const std::string& benchmark_name) {
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path = arg.substr(7);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    return JsonReporter(benchmark_name, path);
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    if (enabled()) records_.push_back({name, value, unit});
+  }
+
+  /// Writes the collected records; returns false (and prints to stderr) if
+  /// the file cannot be written. No-op when disabled.
+  bool write() const {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    out << "{\n  \"schema\": \"volut-bench-v1\",\n  \"benchmark\": \""
+        << escape(name_) << "\",\n  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.17g", records_[i].value);
+      out << "    {\"name\": \"" << escape(records_[i].name)
+          << "\", \"value\": " << value << ", \"unit\": \""
+          << escape(records_[i].unit) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+    if (!out) {
+      std::fprintf(stderr, "JsonReporter: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("\nwrote %zu results to %s\n", records_.size(),
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  JsonReporter(std::string name, std::string path)
+      : name_(std::move(name)), path_(std::move(path)) {}
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -11,7 +11,9 @@ namespace volut {
 YuzuSr::YuzuSr(const YuzuConfig& config)
     : config_(config),
       mlp_([&config] {
-        Rng rng(config.seed);
+        // Counter-based init stream; the stand-in is untrained, so only
+        // determinism (not a particular sequence) matters here.
+        CounterRng rng(config.seed, /*stream=*/0xB0);
         std::vector<std::size_t> dims;
         dims.push_back(3 * (config.k + 1));  // raw neighborhood coordinates
         dims.insert(dims.end(), config.hidden.begin(), config.hidden.end());

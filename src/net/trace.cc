@@ -23,10 +23,13 @@ BandwidthTrace BandwidthTrace::stable(double mbps, double duration_s) {
 BandwidthTrace BandwidthTrace::lte(double mean_mbps, double std_mbps,
                                    double duration_s, std::uint64_t seed) {
   // Ornstein-Uhlenbeck around a slowly drifting mean; quantized to 0.5 s
-  // samples like typical LTE capture logs.
+  // samples like typical LTE capture logs. Counter-based draws: sample i of
+  // a trace is a pure function of (seed, i), so synthesis could batch or
+  // parallelize without changing the trace. (The final rescale pins mean/std
+  // to the requested values regardless of the underlying sequence.)
   const double dt = 0.5;
   const std::size_t n = std::max<std::size_t>(2, std::size_t(duration_s / dt));
-  Rng rng(seed);
+  CounterRng rng(seed, /*stream=*/0x17ACEull);
   std::vector<double> samples(n);
   const double theta = 0.25;  // mean reversion per sample
   double x = mean_mbps;

@@ -40,7 +40,27 @@ LinearLayer::LinearLayer(std::size_t in, std::size_t out, bool relu_, Rng& rng)
   for (float& v : w.raw()) v = rng.gaussian(scale);
 }
 
+LinearLayer::LinearLayer(std::size_t in, std::size_t out, bool relu_,
+                         CounterRng& rng)
+    : w(out, in),
+      b(out, 0.0f),
+      grad_w(out, in),
+      grad_b(out, 0.0f),
+      relu(relu_) {
+  const float scale = std::sqrt(2.0f / static_cast<float>(in));
+  for (float& v : w.raw()) v = rng.gaussian(scale);
+}
+
 Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp needs >= 2 dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool relu = i + 2 < dims.size();  // linear final layer
+    layers_.emplace_back(dims[i], dims[i + 1], relu, rng);
+  }
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, CounterRng& rng) {
   if (dims.size() < 2) throw std::invalid_argument("Mlp needs >= 2 dims");
   layers_.reserve(dims.size() - 1);
   for (std::size_t i = 0; i + 1 < dims.size(); ++i) {

@@ -22,6 +22,9 @@ struct LinearLayer {
   bool relu = true;         // apply ReLU after the affine map
 
   LinearLayer(std::size_t in, std::size_t out, bool relu_, Rng& rng);
+  /// Counter-based init: the weight draws come from `rng`'s stream, so two
+  /// layers initialized from distinct streams are order-independent.
+  LinearLayer(std::size_t in, std::size_t out, bool relu_, CounterRng& rng);
 
   std::size_t in_features() const { return w.cols(); }
   std::size_t out_features() const { return w.rows(); }
@@ -32,6 +35,8 @@ class Mlp {
  public:
   /// `dims` = {in, h1, ..., out}; must have >= 2 entries.
   Mlp(const std::vector<std::size_t>& dims, Rng& rng);
+  /// Same, drawing initial weights from a counter-based stream.
+  Mlp(const std::vector<std::size_t>& dims, CounterRng& rng);
 
   std::size_t input_dim() const { return layers_.front().in_features(); }
   std::size_t output_dim() const { return layers_.back().out_features(); }

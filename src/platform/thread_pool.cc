@@ -60,6 +60,38 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::finish_one(Latch& latch) {
+  std::lock_guard<std::mutex> lk(latch.mu);
+  if (--latch.pending == 0) latch.cv.notify_all();
+}
+
+void ThreadPool::help_until_done(Latch& latch) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      task();
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+      continue;
+    }
+    // Queue drained: every chunk of this latch is done or running on
+    // another thread. Running chunks can always finish without us (a
+    // nested parallel call inside one of them helps with its own hands),
+    // so an indefinite wait here cannot deadlock.
+    std::unique_lock<std::mutex> lk(latch.mu);
+    if (latch.pending == 0) return;
+    latch.cv.wait(lk, [&latch] { return latch.pending == 0; });
+    return;
+  }
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t min_grain) {
@@ -71,25 +103,17 @@ void ThreadPool::parallel_for(
   }
   const std::size_t chunks = std::min(workers * 4, (n + min_grain - 1) / min_grain);
   const std::size_t step = (n + chunks - 1) / chunks;
+  Latch latch;
+  latch.pending = (n + step - 1) / step;
   for (std::size_t begin = 0; begin < n; begin += step) {
     const std::size_t end = std::min(begin + step, n);
-    submit([&body, begin, end] { body(begin, end); });
+    submit([this, &body, &latch, begin, end] {
+      body(begin, end);
+      finish_one(latch);
+    });
   }
-  wait_idle();
+  help_until_done(latch);
 }
-
-namespace {
-
-void chunks_inline(
-    std::size_t n, std::size_t chunk,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
-  const std::size_t num_chunks = (n + chunk - 1) / chunk;
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    body(c, c * chunk, std::min(n, (c + 1) * chunk));
-  }
-}
-
-}  // namespace
 
 void ThreadPool::parallel_chunks(
     std::size_t n, std::size_t chunk,
@@ -98,37 +122,20 @@ void ThreadPool::parallel_chunks(
   chunk = std::max<std::size_t>(1, chunk);
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
   if (worker_count() <= 1 || num_chunks <= 1) {
-    chunks_inline(n, chunk, body);
+    for_each_chunk(n, chunk, body);
     return;
   }
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    submit([&body, c, chunk, n] {
-      body(c, c * chunk, std::min(n, (c + 1) * chunk));
-    });
-  }
-  wait_idle();
-}
-
-void run_parallel(ThreadPool* pool, std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& body,
-                  std::size_t min_grain) {
-  if (pool != nullptr) {
-    pool->parallel_for(n, body, min_grain);
-  } else if (n > 0) {
-    body(0, n);
-  }
-}
-
-void run_chunked(
-    ThreadPool* pool, std::size_t n, std::size_t chunk,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
-  if (n == 0) return;
-  chunk = std::max<std::size_t>(1, chunk);
-  if (pool != nullptr) {
-    pool->parallel_chunks(n, chunk, body);
-  } else {
-    chunks_inline(n, chunk, body);
-  }
+  Latch latch;
+  latch.pending = num_chunks;
+  for_each_chunk(n, chunk,
+                 [this, &body, &latch](std::size_t c, std::size_t begin,
+                                       std::size_t end) {
+                   submit([this, &body, &latch, c, begin, end] {
+                     body(c, begin, end);
+                     finish_one(latch);
+                   });
+                 });
+  help_until_done(latch);
 }
 
 void ThreadPool::worker_loop() {

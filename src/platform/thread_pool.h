@@ -7,6 +7,7 @@
 // hardware.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -49,6 +50,13 @@ class ThreadPool {
   /// Splits [0, n) into roughly equal chunks and runs
   /// `body(begin, end)` on the pool, blocking until all chunks complete.
   /// Runs inline when n is small or the pool has a single worker.
+  ///
+  /// Completion is tracked by a per-call latch, and the calling thread helps
+  /// drain the task queue while it waits. Two consequences: concurrent
+  /// parallel_for calls from different threads wait only on their own
+  /// chunks (no convoy on a shared pool), and a nested call issued from
+  /// inside a pool task cannot deadlock — the nesting task executes queued
+  /// work, including its own chunks, instead of blocking.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_grain = 256);
@@ -58,12 +66,26 @@ class ThreadPool {
   /// complete. Unlike parallel_for, the chunk boundaries depend only on
   /// (n, chunk) — never on the worker count — so per-chunk partial results
   /// (e.g. floating-point sums) combine identically at any parallelism.
-  /// Runs inline on a single-worker pool.
+  /// Runs inline on a single-worker pool. Same per-call latch + helping
+  /// discipline as parallel_for.
   void parallel_chunks(
       std::size_t n, std::size_t chunk,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
  private:
+  /// Per-parallel-call completion tracker (see parallel_for docs).
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+  };
+
+  void finish_one(Latch& latch);
+  /// Runs queued tasks until `latch.pending` reaches zero; sleeps only when
+  /// the queue is empty (every remaining chunk is already executing on some
+  /// other thread, each able to finish without us).
+  void help_until_done(Latch& latch);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -77,15 +99,44 @@ class ThreadPool {
 
 /// parallel_for through `pool`, or inline `body(0, n)` when `pool` is null.
 /// The hot paths take an optional pool; this keeps the fallback in one place.
-void run_parallel(ThreadPool* pool, std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& body,
-                  std::size_t min_grain = 256);
+/// Templated over the callable so the poolless path invokes the body directly
+/// — no std::function wrapping, hence no heap allocation on the serial
+/// steady-state path (the bench allocation counter relies on this).
+template <typename Body>
+void run_parallel(ThreadPool* pool, std::size_t n, const Body& body,
+                  std::size_t min_grain = 256) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, body, min_grain);
+  } else if (n > 0) {
+    body(std::size_t{0}, n);
+  }
+}
+
+/// The fixed-chunk sweep itself: calls `visit(chunk_index, begin, end)` for
+/// every chunk of [0, n). Single source of truth for chunk boundaries —
+/// parallel_chunks submits through this too, which is what makes poolless
+/// and pooled sweeps bit-identical by construction.
+template <typename Visit>
+void for_each_chunk(std::size_t n, std::size_t chunk, const Visit& visit) {
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    visit(c, c * chunk, std::min(n, (c + 1) * chunk));
+  }
+}
 
 /// parallel_chunks through `pool`, or the same fixed-chunk sweep inline when
 /// `pool` is null. Chunk boundaries depend only on (n, chunk) either way, so
 /// per-chunk partial results combine identically at any parallelism.
-void run_chunked(
-    ThreadPool* pool, std::size_t n, std::size_t chunk,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+template <typename Body>
+void run_chunked(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                 const Body& body) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+  if (pool != nullptr) {
+    pool->parallel_chunks(n, chunk, body);
+  } else {
+    for_each_chunk(n, chunk, body);
+  }
+}
 
 }  // namespace volut

@@ -81,9 +81,11 @@ void KdTree::search(std::uint32_t node_id, const Vec3f& query,
 
 std::vector<Neighbor> KdTree::knn(const Vec3f& query, std::size_t k) const {
   if (empty() || k == 0) return {};
-  NeighborHeap heap(std::min(k, size()));
+  std::vector<Neighbor> out(std::min(k, size()));
+  NeighborHeap heap(out);
   knn_into(query, heap);
-  return heap.take_sorted();
+  out.resize(heap.sort_ascending());
+  return out;
 }
 
 void KdTree::knn_into(const Vec3f& query, NeighborHeap& heap,
@@ -94,9 +96,10 @@ void KdTree::knn_into(const Vec3f& query, NeighborHeap& heap,
 }
 
 Neighbor KdTree::nearest(const Vec3f& query) const {
-  NeighborHeap heap(1);
+  Neighbor best;
+  NeighborHeap heap(std::span<Neighbor>(&best, 1));
   search(root_, query, heap, 0, std::numeric_limits<std::uint32_t>::max());
-  return heap.take_sorted().front();
+  return best;
 }
 
 void KdTree::search_radius(std::uint32_t node_id, const Vec3f& query, float r2,

@@ -7,20 +7,26 @@
 
 namespace volut {
 
-std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
-                                      std::span<const Neighbor> b,
-                                      const Vec3f& query,
-                                      std::span<const Vec3f> positions,
-                                      std::size_t k) {
+namespace {
+/// Stack-buffer cap shared by merge_and_prune_into and its vector wrapper;
+/// also the hard ceiling on how many merged neighbors one call can return.
+constexpr std::size_t kMaxCand = 64;
+}  // namespace
+
+std::size_t merge_and_prune_into(std::span<const Neighbor> a,
+                                 std::span<const Neighbor> b,
+                                 const Vec3f& query,
+                                 std::span<const Vec3f> positions,
+                                 std::size_t k, std::span<Neighbor> out) {
   // Candidate lists are tiny (<= 2*(k+1) entries on the hot path); a fixed
   // stack buffer with insertion sort avoids any heap allocation per call —
   // this runs once per interpolated point.
-  constexpr std::size_t kMaxCand = 64;
   std::array<Neighbor, kMaxCand> best;
   std::array<std::size_t, kMaxCand> seen;
   std::size_t best_n = 0;
   std::size_t seen_n = 0;
-  const std::size_t cap = std::min(k, kMaxCand);
+  const std::size_t cap = std::min({k, kMaxCand, out.size()});
+  if (cap == 0) return 0;
 
   auto consider = [&](std::size_t index) {
     for (std::size_t s = 0; s < seen_n; ++s) {
@@ -44,31 +50,50 @@ std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
   for (const Neighbor& n : a) consider(n.index);
   for (const Neighbor& n : b) consider(n.index);
 
-  return std::vector<Neighbor>(best.begin(), best.begin() + best_n);
+  std::copy(best.begin(), best.begin() + best_n, out.begin());
+  return best_n;
 }
 
-std::vector<std::vector<Neighbor>> batch_knn_kdtree(
-    const KdTree& tree, std::span<const Vec3f> queries, std::size_t k,
-    ThreadPool* pool, bool exclude_self) {
-  std::vector<std::vector<Neighbor>> result(queries.size());
-  if (queries.empty() || k == 0) return result;
+std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
+                                      std::span<const Neighbor> b,
+                                      const Vec3f& query,
+                                      std::span<const Vec3f> positions,
+                                      std::size_t k) {
+  std::vector<Neighbor> out(std::min(k, kMaxCand));
+  out.resize(merge_and_prune_into(a, b, query, positions, k, out));
+  return out;
+}
+
+void batch_knn_kdtree(const KdTree& tree, std::span<const Vec3f> queries,
+                      std::size_t k, NeighborBuffer& out, ThreadPool* pool,
+                      bool exclude_self) {
+  out.resize(queries.size(), k);
+  if (queries.empty() || k == 0 || tree.empty()) return;
+  constexpr std::uint32_t kNoExclude =
+      std::numeric_limits<std::uint32_t>::max();
   run_parallel(
       pool, queries.size(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          if (exclude_self) {
-            auto nbrs = tree.knn(queries[i], k + 1);
-            std::erase_if(nbrs,
-                          [i](const Neighbor& n) { return n.index == i; });
-            if (nbrs.size() > k) nbrs.resize(k);
-            result[i] = std::move(nbrs);
-          } else {
-            result[i] = tree.knn(queries[i], k);
-          }
+          // The query's arena slot doubles as the heap's backing storage:
+          // the search, the sort and the result share one allocation-free
+          // buffer.
+          NeighborHeap heap(out.slot(i));
+          tree.knn_into(
+              queries[i], heap, /*index_offset=*/0,
+              exclude_self ? static_cast<std::uint32_t>(i) : kNoExclude);
+          out.set_count(i, heap.sort_ascending());
         }
       },
       /*min_grain=*/256);
-  return result;
+}
+
+NeighborBuffer batch_knn_kdtree(const KdTree& tree,
+                                std::span<const Vec3f> queries, std::size_t k,
+                                ThreadPool* pool, bool exclude_self) {
+  NeighborBuffer out;
+  batch_knn_kdtree(tree, queries, k, out, pool, exclude_self);
+  return out;
 }
 
 }  // namespace volut

@@ -7,10 +7,19 @@
 // already-computed neighbor lists of its parents without a fresh tree search.
 // merge_and_prune implements exactly that: union the candidate lists,
 // re-measure distances to p', and keep the best k.
+//
+// Batch queries traffic in NeighborBuffer: one flat, k-strided Neighbor arena
+// plus per-query counts. One allocation covers an entire batch (instead of
+// one vector per query point, per frame, per session), the layout is what a
+// GPU/SIMD backend would consume directly, and a buffer kept in a scratch
+// struct makes steady-state frames allocation-free — resize() only touches
+// the heap when a frame needs more capacity than any frame before it.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -32,37 +41,99 @@ struct Neighbor {
   }
 };
 
-/// Bounded max-heap of the k best (smallest-distance) neighbors seen so far.
-/// Used by both the kd-tree and octree searches.
+/// Flat neighbor-list arena for a batch of queries: `stride` slots per query
+/// in one contiguous array, with a per-query valid count (truncated
+/// neighborhoods — small clouds, k = 0 — simply leave trailing slots
+/// unused). operator[] yields the valid prefix, so consumers read it exactly
+/// like the former vector-of-vectors.
+class NeighborBuffer {
+ public:
+  NeighborBuffer() = default;
+
+  /// Shapes the buffer for `queries` lists of up to `stride` neighbors each
+  /// and zeroes all counts. Reuses existing capacity: calling this every
+  /// frame with steady sizes performs no heap allocation.
+  void resize(std::size_t queries, std::size_t stride) {
+    queries_ = queries;
+    stride_ = stride;
+    arena_.resize(queries * stride);
+    counts_.assign(queries, 0);
+  }
+
+  /// Number of queries (not neighbors).
+  std::size_t size() const { return queries_; }
+  bool empty() const { return queries_ == 0; }
+  /// Slots reserved per query.
+  std::size_t stride() const { return stride_; }
+
+  /// Valid neighbors recorded for query `i`.
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  void set_count(std::size_t i, std::size_t n) {
+    counts_[i] = static_cast<std::uint32_t>(n);
+  }
+
+  /// The valid (sorted) neighbor list of query `i`.
+  std::span<const Neighbor> operator[](std::size_t i) const {
+    return {arena_.data() + i * stride_, counts_[i]};
+  }
+
+  /// The full `stride`-sized slot of query `i`, for producers to fill
+  /// (typically as NeighborHeap backing storage).
+  std::span<Neighbor> slot(std::size_t i) {
+    return {arena_.data() + i * stride_, stride_};
+  }
+
+  /// Bytes currently backing the arena (capacity, not size) — feeds the
+  /// memory-accounting benches.
+  std::uint64_t arena_capacity_bytes() const {
+    return std::uint64_t(arena_.capacity()) * sizeof(Neighbor) +
+           std::uint64_t(counts_.capacity()) * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t queries_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<Neighbor> arena_;
+  std::vector<std::uint32_t> counts_;
+};
+
+/// Bounded max-heap of the k best (smallest-distance) neighbors seen so far,
+/// living entirely in caller-provided storage (a NeighborBuffer slot, a stack
+/// array, a vector) — pushing never allocates. Used by both the kd-tree and
+/// octree searches.
 class NeighborHeap {
  public:
-  explicit NeighborHeap(std::size_t k) : k_(k) { heap_.reserve(k); }
+  explicit NeighborHeap(std::span<Neighbor> storage) : storage_(storage) {}
 
-  std::size_t capacity() const { return k_; }
-  std::size_t size() const { return heap_.size(); }
-  bool full() const { return heap_.size() == k_; }
+  std::size_t capacity() const { return storage_.size(); }
+  std::size_t size() const { return size_; }
+  bool full() const { return size_ == storage_.size(); }
+
+  /// Discards collected neighbors so the same storage can back a new search.
+  void clear() { size_ = 0; }
 
   /// Largest accepted distance so far; +inf until the heap is full.
   float worst_dist2() const {
-    return full() ? heap_.front().dist2
+    return full() ? storage_[0].dist2
                   : std::numeric_limits<float>::infinity();
   }
 
   void push(std::size_t index, float dist2) {
     if (!full()) {
-      heap_.push_back({index, dist2});
-      std::push_heap(heap_.begin(), heap_.end(), cmp);
-    } else if (dist2 < heap_.front().dist2) {
-      std::pop_heap(heap_.begin(), heap_.end(), cmp);
-      heap_.back() = {index, dist2};
-      std::push_heap(heap_.begin(), heap_.end(), cmp);
+      storage_[size_++] = {index, dist2};
+      std::push_heap(storage_.begin(), storage_.begin() + size_, cmp);
+    } else if (size_ > 0 && dist2 < storage_[0].dist2) {
+      std::pop_heap(storage_.begin(), storage_.begin() + size_, cmp);
+      storage_[size_ - 1] = {index, dist2};
+      std::push_heap(storage_.begin(), storage_.begin() + size_, cmp);
     }
   }
 
-  /// Extracts neighbors sorted by increasing distance. The heap is consumed.
-  std::vector<Neighbor> take_sorted() {
-    std::sort(heap_.begin(), heap_.end());
-    return std::move(heap_);
+  /// Sorts the collected neighbors by increasing distance in place and
+  /// returns how many there are. The heap property is consumed.
+  std::size_t sort_ascending() {
+    std::sort(storage_.begin(), storage_.begin() + size_);
+    return size_;
   }
 
  private:
@@ -70,27 +141,41 @@ class NeighborHeap {
     return a.dist2 < b.dist2;  // max-heap on distance
   }
 
-  std::size_t k_;
-  std::vector<Neighbor> heap_;
+  std::span<Neighbor> storage_;
+  std::size_t size_ = 0;
 };
 
-/// Implements Eq. 2: merges two candidate neighbor lists, recomputes distances
-/// to `query` against `positions`, deduplicates indices and returns the `k`
-/// closest, sorted by increasing distance.
+/// Implements Eq. 2 without allocating: merges two candidate neighbor lists,
+/// recomputes distances to `query` against `positions`, deduplicates indices
+/// and writes the min(k, out.size()) closest into `out`, sorted by increasing
+/// distance. Returns the number written.
+std::size_t merge_and_prune_into(std::span<const Neighbor> a,
+                                 std::span<const Neighbor> b,
+                                 const Vec3f& query,
+                                 std::span<const Vec3f> positions,
+                                 std::size_t k, std::span<Neighbor> out);
+
+/// Vector-returning convenience wrapper over merge_and_prune_into.
 std::vector<Neighbor> merge_and_prune(std::span<const Neighbor> a,
                                       std::span<const Neighbor> b,
                                       const Vec3f& query,
                                       std::span<const Vec3f> positions,
                                       std::size_t k);
 
-/// Runs one k-nearest-neighbor query per entry of `queries` against `tree`,
-/// split into chunked batches on `pool` (serial when `pool` is null or has a
-/// single worker). Each query writes only its own result slot, so the output
-/// is bit-identical regardless of worker count. With `exclude_self` true,
-/// query i is assumed to be point i of the indexed cloud: k+1 neighbors are
-/// fetched and the self-match dropped.
-std::vector<std::vector<Neighbor>> batch_knn_kdtree(
-    const KdTree& tree, std::span<const Vec3f> queries, std::size_t k,
-    ThreadPool* pool = nullptr, bool exclude_self = false);
+/// Runs one k-nearest-neighbor query per entry of `queries` against `tree`
+/// into `out` (reshaped to queries.size() x k), split into chunked batches on
+/// `pool` (serial when `pool` is null or has a single worker). Each query
+/// writes only its own arena slot, so the output is bit-identical regardless
+/// of worker count. With `exclude_self` true, query i is assumed to be point
+/// i of the indexed cloud and is excluded during the tree walk.
+void batch_knn_kdtree(const KdTree& tree, std::span<const Vec3f> queries,
+                      std::size_t k, NeighborBuffer& out,
+                      ThreadPool* pool = nullptr, bool exclude_self = false);
+
+/// Convenience overload allocating a fresh buffer.
+NeighborBuffer batch_knn_kdtree(const KdTree& tree,
+                                std::span<const Vec3f> queries, std::size_t k,
+                                ThreadPool* pool = nullptr,
+                                bool exclude_self = false);
 
 }  // namespace volut

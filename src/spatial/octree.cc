@@ -13,12 +13,15 @@ constexpr std::uint32_t kNoExcludeFlat =
 
 void TwoLayerOctree::build(std::span<const Vec3f> positions,
                            ThreadPool* pool) {
+  // Rebuild in place: every container below is cleared/resized rather than
+  // replaced, so a TwoLayerOctree held in a scratch struct and rebuilt each
+  // frame reaches an allocation-free steady state (empty cells rebuild their
+  // kd-tree over an empty span instead of being swapped for fresh objects).
   size_ = positions.size();
   flat_points_.clear();
   flat_to_global_.clear();
   for (auto& cell : cells_) {
     cell.begin = cell.end = 0;
-    cell.tree = KdTree();
   }
   bounds_ = AABB{};
   for (const Vec3f& p : positions) bounds_.expand(p);
@@ -34,7 +37,8 @@ void TwoLayerOctree::build(std::span<const Vec3f> positions,
   // Counting sort of points into contiguous per-cell ranges (the "leaf
   // nodes store a subset of the points" layout): one flat array, each cell
   // owning [begin, end).
-  std::vector<int> cell_id(positions.size());
+  std::vector<int>& cell_id = cell_id_scratch_;
+  cell_id.resize(positions.size());
   std::array<std::uint32_t, kNumCells> counts{};
   for (std::size_t i = 0; i < positions.size(); ++i) {
     cell_id[i] = cell_of(positions[i]);
@@ -62,10 +66,8 @@ void TwoLayerOctree::build(std::span<const Vec3f> positions,
   auto build_cells = [&](std::size_t begin, std::size_t end) {
     for (std::size_t c = begin; c < end; ++c) {
       Cell& cell = cells_[c];
-      if (cell.end > cell.begin) {
-        cell.tree.build(std::span<const Vec3f>(
-            flat_points_.data() + cell.begin, cell.end - cell.begin));
-      }
+      cell.tree.build(std::span<const Vec3f>(
+          flat_points_.data() + cell.begin, cell.end - cell.begin));
     }
   };
   if (pool != nullptr && pool->worker_count() > 1) {
@@ -156,23 +158,28 @@ void TwoLayerOctree::knn_into(const Vec3f& query, NeighborHeap& heap,
 std::vector<Neighbor> TwoLayerOctree::knn(const Vec3f& query,
                                           std::size_t k) const {
   if (empty() || k == 0) return {};
-  NeighborHeap heap(std::min(k, size()));
+  std::vector<Neighbor> result(std::min(k, size()));
+  NeighborHeap heap(result);
   knn_into(query, heap, kNoExcludeFlat);
-  auto result = heap.take_sorted();
+  result.resize(heap.sort_ascending());
   for (Neighbor& n : result) n.index = flat_to_global_[n.index];
   return result;
 }
 
-std::vector<std::vector<Neighbor>> TwoLayerOctree::batch_knn(
-    std::size_t k, ThreadPool* pool, bool exact) const {
-  std::vector<std::vector<Neighbor>> result(size());
-  if (empty() || k == 0) return result;
-  const std::size_t kk = std::min(k, size() - 1);
+void TwoLayerOctree::batch_knn(std::size_t k, NeighborBuffer& out,
+                               ThreadPool* pool, bool exact) const {
+  const std::size_t kk = empty() ? 0 : std::min(k, size() - 1);
+  out.resize(size(), kk);
+  if (empty() || kk == 0) return;
   auto run_cell_range = [&](std::size_t cell_begin, std::size_t cell_end) {
     for (std::size_t c = cell_begin; c < cell_end; ++c) {
       const Cell& cell = cells_[c];
       for (std::uint32_t fi = cell.begin; fi < cell.end; ++fi) {
-        NeighborHeap heap(kk);
+        // The query's arena slot backs the heap; indices are flat during
+        // the search and remapped to global in place after the sort.
+        const std::uint32_t g = flat_to_global_[fi];
+        const std::span<Neighbor> storage = out.slot(g);
+        NeighborHeap heap(storage);
         if (exact) {
           knn_into(flat_points_[fi], heap, fi);
         } else {
@@ -180,14 +187,15 @@ std::vector<std::vector<Neighbor>> TwoLayerOctree::batch_knn(
           // rare under-populated cells.
           cell.tree.knn_into(flat_points_[fi], heap, cell.begin, fi);
           if (!heap.full()) {
-            NeighborHeap full(kk);
-            knn_into(flat_points_[fi], full, fi);
-            heap = std::move(full);
+            heap.clear();
+            knn_into(flat_points_[fi], heap, fi);
           }
         }
-        auto sorted = heap.take_sorted();
-        for (Neighbor& n : sorted) n.index = flat_to_global_[n.index];
-        result[flat_to_global_[fi]] = std::move(sorted);
+        const std::size_t n = heap.sort_ascending();
+        for (std::size_t s = 0; s < n; ++s) {
+          storage[s].index = flat_to_global_[storage[s].index];
+        }
+        out.set_count(g, n);
       }
     }
   };
@@ -199,7 +207,13 @@ std::vector<std::vector<Neighbor>> TwoLayerOctree::batch_knn(
   } else {
     run_cell_range(0, kNumCells);
   }
-  return result;
+}
+
+NeighborBuffer TwoLayerOctree::batch_knn(std::size_t k, ThreadPool* pool,
+                                         bool exact) const {
+  NeighborBuffer out;
+  batch_knn(k, out, pool, exact);
+  return out;
 }
 
 }  // namespace volut

@@ -56,9 +56,12 @@ class TwoLayerOctree {
   /// Exact k nearest neighbors of `query`, sorted by increasing distance.
   std::vector<Neighbor> knn(const Vec3f& query, std::size_t k) const;
 
-  /// kNN for every point of the indexed cloud itself, computed cell-parallel
-  /// on `pool` (or serially when pool == nullptr). Result[i] are the k
-  /// neighbors of point i, *excluding* point i itself.
+  /// kNN for every point of the indexed cloud itself into `out` (reshaped to
+  /// size() x min(k, size()-1)), computed cell-parallel on `pool` (or
+  /// serially when pool == nullptr). out[i] are the k neighbors of point i,
+  /// *excluding* point i itself; each query fills only its own arena slot,
+  /// so the result is bit-identical at any worker count and a reused buffer
+  /// makes the batch allocation-free.
   ///
   /// With `exact` false the search stays within each point's own cell (the
   /// paper's "neighbour points are highly likely self-contained" leaf
@@ -68,9 +71,12 @@ class TwoLayerOctree {
   /// tolerates this by construction (partners are randomly drawn from the
   /// dilated neighborhood anyway), and it removes all spill searches from
   /// the hot path.
-  std::vector<std::vector<Neighbor>> batch_knn(std::size_t k,
-                                               ThreadPool* pool,
-                                               bool exact = true) const;
+  void batch_knn(std::size_t k, NeighborBuffer& out, ThreadPool* pool,
+                 bool exact = true) const;
+
+  /// Convenience overload allocating a fresh buffer.
+  NeighborBuffer batch_knn(std::size_t k, ThreadPool* pool,
+                           bool exact = true) const;
 
   /// Cell id containing `p` (clamped to the grid).
   int cell_of(const Vec3f& p) const;
@@ -98,6 +104,8 @@ class TwoLayerOctree {
   Vec3f cell_extent_{};
   std::vector<Vec3f> flat_points_;           // counting-sorted by cell
   std::vector<std::uint32_t> flat_to_global_;
+  std::vector<int> cell_id_scratch_;         // build-time scratch, kept so
+                                             // rebuilds don't allocate
   std::array<Cell, kNumCells> cells_;
 };
 

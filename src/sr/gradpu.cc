@@ -25,21 +25,27 @@ GradPuResult gradpu_upsample(const PointCloud& input, double ratio,
 
   // Stage 2: iterative neural refinement. Every iteration re-queries
   // neighborhoods (positions moved) and runs one NN inference per point and
-  // axis — the computational burden that motivates the LUT.
+  // axis — the computational burden that motivates the LUT. The per-point
+  // tree queries batch into one flat NeighborBuffer reused across
+  // iterations, so only the first iteration sizes the arena.
   timer.reset();
   const std::size_t new_begin = ir.original_count;
   const std::size_t new_count = ir.new_count();
   KdTree source_tree(input.positions());
+  const PointCloud& upsampled = ir.cloud;
+  NeighborBuffer neighborhoods;
   for (std::size_t it = 0; it < config.iterations; ++it) {
+    batch_knn_kdtree(source_tree,
+                     upsampled.positions().subspan(new_begin, new_count),
+                     n - 1, neighborhoods);
     // Batch the encodings per axis for one inference pass.
     std::vector<float> coords[3];
     for (int a = 0; a < 3; ++a) coords[a].reserve(new_count * n);
     std::vector<float> radii(new_count, 0.0f);
     for (std::size_t j = 0; j < new_count; ++j) {
       const Vec3f& p = ir.cloud.position(new_begin + j);
-      const auto nbrs = source_tree.knn(p, n - 1);
-      const EncodedNeighborhood enc =
-          encode_neighborhood(p, nbrs, input.positions(), n, /*bins=*/2);
+      const EncodedNeighborhood enc = encode_neighborhood(
+          p, neighborhoods[j], input.positions(), n, /*bins=*/2);
       radii[j] = enc.radius;
       for (int a = 0; a < 3; ++a) {
         for (std::size_t s = 0; s < n; ++s) {

@@ -9,6 +9,13 @@
 // reuse gives each new point its k nearest neighbors without a fresh tree
 // query (needed by the LUT refinement stage and colorization).
 //
+// All three stages run on the pool. Partner selection draws from counter-
+// based RNG streams keyed by (seed, source index), so midpoint generation is
+// a pure function of the input and config: the output is bit-identical at
+// any worker count. Neighbor lists live in flat NeighborBuffer arenas, and a
+// caller-held InterpolationScratch (plus a reused InterpolationResult) makes
+// the steady-state frame loop allocation-free on the neighbor path.
+//
 // Configuration axes map to the paper's ablations:
 //   dilation = 1, use_octree = false, reuse = false  -> "vanilla kNN" baseline
 //   dilation = d, use_octree = true,  reuse = true   -> VoLUT (K4dX)
@@ -20,7 +27,9 @@
 
 #include "src/core/point_cloud.h"
 #include "src/platform/thread_pool.h"
+#include "src/spatial/kdtree.h"
 #include "src/spatial/knn.h"
+#include "src/spatial/octree.h"
 
 namespace volut {
 
@@ -57,18 +66,48 @@ struct InterpolationResult {
   /// Parent pair (source indices) of each new point.
   std::vector<std::array<std::uint32_t, 2>> parents;
   /// k nearest *source* points of each new point, sorted by distance —
-  /// consumed by colorization and by the LUT refinement stage.
-  std::vector<std::vector<Neighbor>> new_neighbors;
+  /// consumed by colorization and by the LUT refinement stage. Flat arena:
+  /// new_neighbors[j] is the j-th new point's list.
+  NeighborBuffer new_neighbors;
   InterpolationTiming timing;
 
   std::size_t new_count() const { return cloud.size() - original_count; }
 };
 
+/// Reusable working memory for interpolate(): the spatial index, the dilated
+/// neighbor arena and the stage-2 scheduling tables. Every member is resized
+/// in place each call, so a scratch kept across frames (e.g. one per
+/// SrPipeline worker slot) reaches an allocation-free steady state — the
+/// bench allocation counter asserts exactly that. A default-constructed
+/// scratch is valid; interpolate() with no scratch argument uses a local one
+/// (one-shot callers keep the old behavior and cost).
+struct InterpolationScratch {
+  TwoLayerOctree octree;
+  KdTree kdtree;
+  /// Stage-1 output: dilated neighborhood of every source point.
+  NeighborBuffer dilated;
+  /// Stage-2 schedule (see interpolation.cc): per-chunk, per-pass source
+  /// counts that become rank bases, cumulative output slots per pass, and
+  /// per-chunk rank counters / Fisher-Yates partner arrays.
+  std::vector<std::uint32_t> pass_table;
+  std::vector<std::uint64_t> pass_cum;
+  std::vector<std::uint32_t> rank_scratch;
+  std::vector<std::uint32_t> partner_scratch;
+};
+
 /// Upsamples `input` to ratio `ratio` (>= 1; fractional ratios supported —
-/// the enabler of continuous ABR). `pool` may be nullptr for serial
-/// execution.
+/// the enabler of continuous ABR), writing into `result` (whose buffers are
+/// reused across calls). `pool` may be nullptr for serial execution;
+/// `scratch` may be nullptr for one-shot use.
+void interpolate_into(const PointCloud& input, double ratio,
+                      const InterpolationConfig& config,
+                      InterpolationResult& result, ThreadPool* pool = nullptr,
+                      InterpolationScratch* scratch = nullptr);
+
+/// Convenience wrapper returning a fresh result.
 InterpolationResult interpolate(const PointCloud& input, double ratio,
                                 const InterpolationConfig& config,
-                                ThreadPool* pool = nullptr);
+                                ThreadPool* pool = nullptr,
+                                InterpolationScratch* scratch = nullptr);
 
 }  // namespace volut

@@ -1,6 +1,7 @@
 #include "src/sr/pipeline.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "src/platform/timer.h"
 #include "src/sr/position_encoding.h"
@@ -18,12 +19,31 @@ SrPipeline::SrPipeline(std::shared_ptr<const RefinementLut> lut,
   interp_.k = lut_->spec().receptive_field;
 }
 
+std::unique_ptr<SrPipeline::ScratchSlot> SrPipeline::acquire_slot() const {
+  {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    if (!free_slots_.empty()) {
+      auto slot = std::move(free_slots_.back());
+      free_slots_.pop_back();
+      return slot;
+    }
+  }
+  return std::make_unique<ScratchSlot>();
+}
+
+void SrPipeline::release_slot(std::unique_ptr<ScratchSlot> slot) const {
+  std::lock_guard<std::mutex> lk(slots_mu_);
+  free_slots_.push_back(std::move(slot));
+}
+
 SrResult SrPipeline::upsample(const PointCloud& input, double ratio,
                               bool refine) const {
   SrResult result;
   result.input_points = input.size();
 
-  InterpolationResult ir = interpolate(input, ratio, interp_, pool_);
+  std::unique_ptr<ScratchSlot> slot = acquire_slot();
+  InterpolationResult& ir = slot->ir;
+  interpolate_into(input, ratio, interp_, ir, pool_, &slot->scratch);
   result.timing.knn_ms = ir.timing.knn_ms;
   result.timing.interpolate_ms = ir.timing.interpolate_ms;
   result.timing.colorize_ms = ir.timing.colorize_ms;
@@ -47,6 +67,7 @@ SrResult SrPipeline::upsample(const PointCloud& input, double ratio,
 
   result.output_points = ir.cloud.size();
   result.cloud = std::move(ir.cloud);
+  release_slot(std::move(slot));
   return result;
 }
 

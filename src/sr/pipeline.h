@@ -4,9 +4,16 @@
 // This is the client-side hot path: it runs per received frame and must hit
 // 30+ FPS on mobile-class devices. The timing breakdown it reports feeds
 // Figure 16 (kNN / interpolation / colorization / LUT refinement).
+//
+// A pipeline keeps a pool of scratch slots (spatial index + neighbor arenas
+// + interpolation result), one per concurrent upsample() caller: frame N+1
+// reuses the buffers frame N grew, so the steady-state neighbor path
+// performs no heap allocation (see bench_micro_kernels' allocation counter).
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "src/core/point_cloud.h"
 #include "src/platform/thread_pool.h"
@@ -41,6 +48,10 @@ class SrPipeline {
 
   /// Upsamples `input` by `ratio` (>= 1, fractional supported). With
   /// `refine` false only stage 1 runs (the K4dX-without-LUT ablation).
+  /// Thread-safe: concurrent callers check distinct scratch slots out of the
+  /// pipeline's slot pool, and ThreadPool's per-call latches keep callers
+  /// sharing one `pool` from convoying on (or deadlocking against) each
+  /// other's barriers.
   SrResult upsample(const PointCloud& input, double ratio,
                     bool refine = true) const;
 
@@ -48,9 +59,24 @@ class SrPipeline {
   const InterpolationConfig& interpolation_config() const { return interp_; }
 
  private:
+  /// One concurrent caller's working set: interpolation scratch plus the
+  /// result whose buffers (parents, neighbor arena) persist across frames.
+  /// The upsampled cloud itself is moved out to the caller, so only the
+  /// neighbor path is allocation-free — which is the path that scales with
+  /// sessions x frames.
+  struct ScratchSlot {
+    InterpolationScratch scratch;
+    InterpolationResult ir;
+  };
+
+  std::unique_ptr<ScratchSlot> acquire_slot() const;
+  void release_slot(std::unique_ptr<ScratchSlot> slot) const;
+
   std::shared_ptr<const RefinementLut> lut_;
   InterpolationConfig interp_;
   ThreadPool* pool_;
+  mutable std::mutex slots_mu_;
+  mutable std::vector<std::unique_ptr<ScratchSlot>> free_slots_;
 };
 
 }  // namespace volut

@@ -74,13 +74,18 @@ void merge_training_sets(TrainingSet& a, const TrainingSet& b) {
 }
 
 RefineNet::RefineNet(const RefineNetConfig& config) : config_(config) {
-  Rng rng(config.seed);
   std::vector<std::size_t> dims;
   dims.push_back(config.receptive_field);
   dims.insert(dims.end(), config.hidden.begin(), config.hidden.end());
   dims.push_back(1);
   nets_.reserve(3);
-  for (int a = 0; a < 3; ++a) nets_.emplace_back(dims, rng);
+  for (int a = 0; a < 3; ++a) {
+    // Counter-based init, one stream per axis net: an axis's initial
+    // weights depend only on (seed, axis), not on how many nets were
+    // built before it.
+    CounterRng rng(config.seed, /*stream=*/0xA0 + std::uint64_t(a));
+    nets_.emplace_back(dims, rng);
+  }
 }
 
 float RefineNet::predict(int axis, std::span<const float> coords) const {

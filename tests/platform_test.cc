@@ -132,6 +132,42 @@ TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
   EXPECT_EQ(executed.load(), kTasks);
 }
 
+TEST(ThreadPoolTest, NestedParallelForFromPoolTaskDoesNotDeadlock) {
+  // A parallel_for issued from inside a pool task must complete: the
+  // per-call latch plus help-while-waiting lets the nesting task run queued
+  // chunks (including its own) instead of blocking on a global counter.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_covered{0};
+  pool.parallel_for(
+      4,
+      [&pool, &inner_covered](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          pool.parallel_for(
+              512,
+              [&inner_covered](std::size_t ib, std::size_t ie) {
+                inner_covered.fetch_add(ie - ib);
+              },
+              /*min_grain=*/64);
+        }
+      },
+      /*min_grain=*/1);
+  EXPECT_EQ(inner_covered.load(), 4u * 512u);
+}
+
+TEST(ThreadPoolTest, NestedParallelChunksFromPoolTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_covered{0};
+  pool.parallel_chunks(4, 1, [&pool, &inner_covered](std::size_t,
+                                                     std::size_t,
+                                                     std::size_t) {
+    pool.parallel_chunks(
+        256, 32, [&inner_covered](std::size_t, std::size_t b, std::size_t e) {
+          inner_covered.fetch_add(e - b);
+        });
+  });
+  EXPECT_EQ(inner_covered.load(), 4u * 256u);
+}
+
 TEST(ThreadPoolTest, SubmitFromWorkerTaskDoesNotDeadlock) {
   // A task enqueueing follow-up work exercises the queue under
   // producer-is-a-worker contention.

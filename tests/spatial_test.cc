@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "src/core/rng.h"
@@ -39,24 +40,133 @@ std::vector<Neighbor> brute_knn(const std::vector<Vec3f>& pts,
 }
 
 TEST(NeighborHeapTest, KeepsKSmallest) {
-  NeighborHeap heap(3);
+  std::array<Neighbor, 3> storage;
+  NeighborHeap heap(storage);
   for (std::size_t i = 0; i < 10; ++i) {
     heap.push(i, float(10 - i));  // distances 10..1
   }
-  const auto sorted = heap.take_sorted();
-  ASSERT_EQ(sorted.size(), 3u);
-  EXPECT_FLOAT_EQ(sorted[0].dist2, 1.0f);
-  EXPECT_FLOAT_EQ(sorted[1].dist2, 2.0f);
-  EXPECT_FLOAT_EQ(sorted[2].dist2, 3.0f);
+  ASSERT_EQ(heap.sort_ascending(), 3u);
+  EXPECT_FLOAT_EQ(storage[0].dist2, 1.0f);
+  EXPECT_FLOAT_EQ(storage[1].dist2, 2.0f);
+  EXPECT_FLOAT_EQ(storage[2].dist2, 3.0f);
 }
 
 TEST(NeighborHeapTest, WorstDistInfiniteUntilFull) {
-  NeighborHeap heap(2);
+  std::array<Neighbor, 2> storage;
+  NeighborHeap heap(storage);
   EXPECT_TRUE(std::isinf(heap.worst_dist2()));
   heap.push(0, 1.0f);
   EXPECT_TRUE(std::isinf(heap.worst_dist2()));
   heap.push(1, 2.0f);
   EXPECT_FLOAT_EQ(heap.worst_dist2(), 2.0f);
+}
+
+TEST(NeighborHeapTest, ClearReusesStorage) {
+  std::array<Neighbor, 2> storage;
+  NeighborHeap heap(storage);
+  heap.push(0, 5.0f);
+  heap.push(1, 1.0f);
+  EXPECT_TRUE(heap.full());
+  heap.clear();
+  EXPECT_EQ(heap.size(), 0u);
+  heap.push(7, 3.0f);
+  ASSERT_EQ(heap.sort_ascending(), 1u);
+  EXPECT_EQ(storage[0].index, 7u);
+}
+
+TEST(NeighborBufferTest, ResizeShapesAndZeroesCounts) {
+  NeighborBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  buf.resize(3, 4);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.stride(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(buf.count(i), 0u);
+    EXPECT_TRUE(buf[i].empty());
+    EXPECT_EQ(buf.slot(i).size(), 4u);
+  }
+}
+
+TEST(NeighborBufferTest, TruncatedNeighborhoodExposesValidPrefixOnly) {
+  NeighborBuffer buf;
+  buf.resize(2, 4);
+  auto slot = buf.slot(0);
+  slot[0] = {5, 0.5f};
+  slot[1] = {9, 1.5f};
+  buf.set_count(0, 2);  // 2 of 4 slots valid (e.g. a tiny cloud)
+  ASSERT_EQ(buf[0].size(), 2u);
+  EXPECT_EQ(buf[0][0].index, 5u);
+  EXPECT_EQ(buf[0][1].index, 9u);
+  EXPECT_TRUE(buf[1].empty());
+}
+
+TEST(NeighborBufferTest, ZeroStrideAndReshape) {
+  NeighborBuffer buf;
+  buf.resize(4, 0);  // k = 0: queries exist, no neighbor slots
+  EXPECT_EQ(buf.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(buf[i].empty());
+  buf.resize(0, 8);  // empty cloud
+  EXPECT_TRUE(buf.empty());
+  buf.resize(2, 3);  // reshape after both degenerate forms
+  buf.slot(1)[0] = {1, 0.25f};
+  buf.set_count(1, 1);
+  EXPECT_EQ(buf[1].size(), 1u);
+}
+
+TEST(NeighborBufferTest, ReshapeResetsStaleCounts) {
+  NeighborBuffer buf;
+  buf.resize(2, 2);
+  buf.set_count(0, 2);
+  buf.set_count(1, 1);
+  buf.resize(3, 2);  // a new frame must not inherit old counts
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(buf.count(i), 0u);
+}
+
+TEST(BatchKnnKdtreeTest, BufferHandlesCloudSmallerThanK) {
+  Rng rng(80);
+  const auto pts = random_points(3, rng);
+  const KdTree tree(pts);
+  NeighborBuffer buf;
+  batch_knn_kdtree(tree, pts, 8, buf, /*pool=*/nullptr,
+                   /*exclude_self=*/true);
+  ASSERT_EQ(buf.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(buf[i].size(), 2u);  // truncated: only 2 other points exist
+    for (const Neighbor& n : buf[i]) EXPECT_NE(n.index, i);
+  }
+}
+
+TEST(BatchKnnKdtreeTest, EmptyCloudAndZeroK) {
+  const KdTree empty_tree;
+  NeighborBuffer buf;
+  batch_knn_kdtree(empty_tree, {}, 4, buf);
+  EXPECT_TRUE(buf.empty());
+  Rng rng(81);
+  const auto pts = random_points(10, rng);
+  const KdTree tree(pts);
+  batch_knn_kdtree(tree, pts, 0, buf);
+  ASSERT_EQ(buf.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_TRUE(buf[i].empty());
+}
+
+TEST(BatchKnnKdtreeTest, ReusedBufferMatchesFreshBuffer) {
+  Rng rng(82);
+  const auto big = random_points(600, rng);
+  const auto small = random_points(50, rng);
+  const KdTree big_tree(big);
+  const KdTree small_tree(small);
+  NeighborBuffer reused;
+  batch_knn_kdtree(big_tree, big, 6, reused);    // grows the arena
+  batch_knn_kdtree(small_tree, small, 4, reused);  // shrinks in place
+  const NeighborBuffer fresh = batch_knn_kdtree(small_tree, small, 4);
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    ASSERT_EQ(reused[i].size(), fresh[i].size());
+    for (std::size_t j = 0; j < fresh[i].size(); ++j) {
+      EXPECT_EQ(reused[i][j].index, fresh[i][j].index);
+      EXPECT_EQ(reused[i][j].dist2, fresh[i][j].dist2);
+    }
+  }
 }
 
 TEST(KdTreeTest, EmptyAndSinglePoint) {
