@@ -21,6 +21,7 @@
 #include "src/nn/mlp.h"
 #include "src/platform/thread_pool.h"
 #include "src/spatial/kdtree.h"
+#include "src/spatial/knn_simd.h"
 #include "src/spatial/octree.h"
 #include "src/sr/lut_builder.h"
 #include "src/sr/pipeline.h"
@@ -240,6 +241,80 @@ BENCHMARK(BM_BatchKnnThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// SIMD leaf-scan trajectory: the batched kd-tree kNN kernel at every
+// dispatch level x worker count. Each run is identity-gated against the
+// scalar oracle (same indices, distances and tie order), so this doubles as
+// the bit-exactness check CI tracks alongside the timings.
+std::uint64_t neighbor_buffer_hash(const NeighborBuffer& buf) {
+  // Hash the fields, not the raw structs: Neighbor carries tail padding
+  // whose bytes are unspecified.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    for (const Neighbor& n : buf[i]) {
+      h = bench::fnv1a(&n.index, sizeof(n.index), h);
+      h = bench::fnv1a(&n.dist2, sizeof(n.dist2), h);
+    }
+  }
+  return h;
+}
+
+struct BatchKnnSimdFixture {
+  std::vector<Vec3f> pts = random_points(20000, 11);
+  KdTree tree;
+  std::uint64_t scalar_hash = 0;
+  BatchKnnSimdFixture() {
+    tree.build(pts);
+    simd_force_level(SimdLevel::kScalar);
+    scalar_hash = neighbor_buffer_hash(
+        batch_knn_kdtree(tree, pts, 8, nullptr, /*exclude_self=*/true));
+    simd_clear_forced_level();
+  }
+};
+
+void BM_BatchKnnSimd(benchmark::State& state) {
+  static BatchKnnSimdFixture fixture;
+  const auto level = static_cast<volut::SimdLevel>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  if (!simd_force_level(level)) {
+    fail_benchmark(state, "requested SIMD level unavailable on this host");
+    return;
+  }
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  NeighborBuffer out;
+  for (auto _ : state) {
+    batch_knn_kdtree(fixture.tree, fixture.pts, 8, out, pool_ptr,
+                     /*exclude_self=*/true);
+    benchmark::DoNotOptimize(out);
+  }
+  // Identity gate outside the timed loop (hashing 160k slots would swamp
+  // the level-to-level deltas): batch_knn overwrites every slot, so the
+  // final state is the per-iteration state.
+  const std::uint64_t hash = neighbor_buffer_hash(out);
+  simd_clear_forced_level();
+  if (hash != fixture.scalar_hash) {
+    fail_benchmark(state, "SIMD batch kNN differs from the scalar oracle");
+  }
+  state.counters["identical"] = hash == fixture.scalar_hash ? 1 : 0;
+  state.counters["queries"] = static_cast<double>(fixture.pts.size());
+  state.SetLabel(simd_level_name(level));
+}
+
+void BatchKnnSimdArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"simd", "threads"});
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    if (!simd_available(level)) continue;  // skip levels this host lacks
+    for (const int threads : {1, 2, 4, 8}) {
+      b->Args({static_cast<long>(level), threads});
+    }
+  }
+}
+BENCHMARK(BM_BatchKnnSimd)
+    ->Apply(BatchKnnSimdArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_MergeAndPrune(benchmark::State& state) {
   const auto pts = random_points(1000, 5);
   KdTree tree(pts);
@@ -380,6 +455,17 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   volut::bench::JsonReporter json =
       volut::bench::JsonReporter::from_args(argc, argv, "bench_micro_kernels");
+  // SIMD dispatch metadata: which level the cpuid probe found and which one
+  // this process actually runs (after the VOLUT_SIMD env clamp) — so a JSON
+  // artifact is self-describing about the kernel behind its kNN numbers.
+  json.add(std::string("meta/simd_detected/") +
+               volut::simd_level_name(volut::simd_detected_level()),
+           static_cast<double>(static_cast<int>(volut::simd_detected_level())),
+           "level");
+  json.add(std::string("meta/simd_active/") +
+               volut::simd_level_name(volut::simd_active_level()),
+           static_cast<double>(static_cast<int>(volut::simd_active_level())),
+           "level");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonCaptureReporter reporter(&json);

@@ -4,15 +4,34 @@
 #include <limits>
 #include <numeric>
 
+#include "src/spatial/knn_simd.h"
+
 namespace volut {
 
-void KdTree::build(std::span<const Vec3f> positions) {
+void KdTree::build(std::span<const Vec3f> positions,
+                   std::span<const std::uint32_t> report_indices) {
+  // Rebuild in place: clear + push_back within retained capacity, so a tree
+  // held in a per-frame scratch reaches an allocation-free steady state.
   points_ = positions;
+  report_indices_ = report_indices;
   nodes_.clear();
+  soa_x_.clear();
+  soa_y_.clear();
+  soa_z_.clear();
+  soa_idx_.clear();
   index_.resize(positions.size());
   std::iota(index_.begin(), index_.end(), 0u);
   if (!index_.empty()) {
     nodes_.reserve(2 * index_.size() / kLeafSize + 2);
+    // Worst-case SoA footprint: every point once, plus one pad block per
+    // leaf — and the median split can produce leaves as small as
+    // kLeafSize / 2, so bound the leaf count by that.
+    const std::size_t soa_cap =
+        index_.size() + kSoaLeafPad * (index_.size() / (kLeafSize / 2) + 2);
+    soa_x_.reserve(soa_cap);
+    soa_y_.reserve(soa_cap);
+    soa_z_.reserve(soa_cap);
+    soa_idx_.reserve(soa_cap);
     root_ = build_node(0, static_cast<std::uint32_t>(index_.size()), 0);
   }
 }
@@ -25,6 +44,24 @@ std::uint32_t KdTree::build_node(std::uint32_t begin, std::uint32_t end,
     nodes_[id].axis = -1;
     nodes_[id].begin = begin;
     nodes_[id].end = end;
+    // SoA mirror of the leaf, padded to the vector width so kernels read
+    // whole vectors. Padding lanes measure +inf distance and are bounded
+    // out of reporting by the leaf's valid count.
+    nodes_[id].soa_begin = static_cast<std::uint32_t>(soa_x_.size());
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const std::uint32_t pi = index_[i];
+      soa_x_.push_back(points_[pi].x);
+      soa_y_.push_back(points_[pi].y);
+      soa_z_.push_back(points_[pi].z);
+      soa_idx_.push_back(report_indices_.empty() ? pi : report_indices_[pi]);
+    }
+    constexpr float kPad = std::numeric_limits<float>::infinity();
+    while (soa_x_.size() % kSoaLeafPad != 0) {
+      soa_x_.push_back(kPad);
+      soa_y_.push_back(kPad);
+      soa_z_.push_back(kPad);
+      soa_idx_.push_back(std::numeric_limits<std::uint32_t>::max());
+    }
     return id;
   }
   // Pick the axis with the largest spread over this range.
@@ -57,28 +94,6 @@ std::uint32_t KdTree::build_node(std::uint32_t begin, std::uint32_t end,
   return id;
 }
 
-void KdTree::search(std::uint32_t node_id, const Vec3f& query,
-                    NeighborHeap& heap, std::uint32_t index_offset,
-                    std::uint32_t exclude) const {
-  const Node& node = nodes_[node_id];
-  if (node.axis < 0) {
-    for (std::uint32_t i = node.begin; i < node.end; ++i) {
-      const std::uint32_t pi = index_[i];
-      const std::uint32_t reported = pi + index_offset;
-      if (reported == exclude) continue;
-      heap.push(reported, distance2(query, points_[pi]));
-    }
-    return;
-  }
-  const float delta = query[node.axis] - node.split;
-  const std::uint32_t near = delta < 0.0f ? node.left : node.right;
-  const std::uint32_t far = delta < 0.0f ? node.right : node.left;
-  search(near, query, heap, index_offset, exclude);
-  if (delta * delta < heap.worst_dist2()) {
-    search(far, query, heap, index_offset, exclude);
-  }
-}
-
 std::vector<Neighbor> KdTree::knn(const Vec3f& query, std::size_t k) const {
   if (empty() || k == 0) return {};
   std::vector<Neighbor> out(std::min(k, size()));
@@ -92,13 +107,47 @@ void KdTree::knn_into(const Vec3f& query, NeighborHeap& heap,
                       std::uint32_t index_offset,
                       std::uint32_t exclude) const {
   if (empty()) return;
-  search(root_, query, heap, index_offset, exclude);
+  const LeafScanFn scan = active_leaf_scan();
+  // Explicit-stack traversal (the hot path has no recursion): descend
+  // toward the query, deferring each far subtree with the squared distance
+  // to its splitting plane; after every leaf scan, resume the nearest
+  // deferred subtree that can still contribute.
+  std::uint32_t node_stack[kMaxDepth];
+  float dist_stack[kMaxDepth];
+  int sp = 0;
+  std::uint32_t node_id = root_;
+  for (;;) {
+    const Node* node = &nodes_[node_id];
+    while (node->axis >= 0) {
+      const float delta = query[node->axis] - node->split;
+      const bool left_near = delta < 0.0f;
+      node_stack[sp] = left_near ? node->right : node->left;
+      dist_stack[sp] = delta * delta;
+      ++sp;
+      node_id = left_near ? node->left : node->right;
+      node = &nodes_[node_id];
+    }
+    scan(soa_x_.data() + node->soa_begin, soa_y_.data() + node->soa_begin,
+         soa_z_.data() + node->soa_begin, soa_idx_.data() + node->soa_begin,
+         node->end - node->begin, query, index_offset, exclude, heap);
+    // Prune with > (not >=): a subtree whose plane distance exactly equals
+    // the current worst may still hold an equidistant neighbor that wins
+    // the (distance, index) tie-break.
+    do {
+      if (sp == 0) return;
+      --sp;
+    } while (dist_stack[sp] > heap.worst_dist2());
+    node_id = node_stack[sp];
+  }
 }
 
 Neighbor KdTree::nearest(const Vec3f& query) const {
-  Neighbor best;
+  // Empty-tree sentinel (kNoNeighbor, +inf): callers fold it into metrics
+  // as "infinitely far" instead of reading nodes_[0] out of bounds.
+  Neighbor best{kNoNeighbor, std::numeric_limits<float>::infinity()};
+  if (empty()) return best;
   NeighborHeap heap(std::span<Neighbor>(&best, 1));
-  search(root_, query, heap, 0, std::numeric_limits<std::uint32_t>::max());
+  knn_into(query, heap);
   return best;
 }
 

@@ -32,7 +32,18 @@ std::size_t merge_and_prune_into(std::span<const Neighbor> a,
     for (std::size_t s = 0; s < seen_n; ++s) {
       if (seen[s] == index) return;  // deduplicate shared candidates
     }
-    if (seen_n < kMaxCand) seen[seen_n++] = index;
+    if (seen_n < kMaxCand) {
+      seen[seen_n++] = index;
+    } else {
+      // `seen` is saturated, so this candidate cannot be recorded; if a
+      // duplicate of it arrives later, the seen-scan above won't catch it.
+      // Every kept candidate is either in `seen` or findable in `best`, so
+      // dedup against `best` directly (unkept duplicates are harmless —
+      // they re-lose the same comparison).
+      for (std::size_t s = 0; s < best_n; ++s) {
+        if (best[s].index == index) return;
+      }
+    }
     const Neighbor cand{index, distance2(query, positions[index])};
     // Ordering (distance, then index) matches Neighbor::operator< so ties —
     // e.g. the two parents of a midpoint, exactly equidistant — resolve the

@@ -97,10 +97,18 @@ class NeighborBuffer {
   std::vector<std::uint32_t> counts_;
 };
 
-/// Bounded max-heap of the k best (smallest-distance) neighbors seen so far,
-/// living entirely in caller-provided storage (a NeighborBuffer slot, a stack
-/// array, a vector) — pushing never allocates. Used by both the kd-tree and
-/// octree searches.
+/// Bounded collector of the k best neighbors seen so far, living entirely in
+/// caller-provided storage (a NeighborBuffer slot, a stack array, a vector)
+/// — pushing never allocates. Used by both the kd-tree and octree searches.
+///
+/// Candidates are kept under the full (distance, index) order — the same
+/// total order the sorted output uses — so equidistant ties resolve toward
+/// lower indices no matter the traversal order: the kept set is exactly the
+/// k smallest under Neighbor::operator<, the contract merge_and_prune's
+/// tie-breaking relies on. (The name is historical: k is small on every hot
+/// path, so the implementation is a sorted insertion list — rejections cost
+/// one compare against the back, worst_dist2() is a load, and the collected
+/// prefix is sorted at all times, making sort_ascending() free.)
 class NeighborHeap {
  public:
   explicit NeighborHeap(std::span<Neighbor> storage) : storage_(storage) {}
@@ -114,33 +122,33 @@ class NeighborHeap {
 
   /// Largest accepted distance so far; +inf until the heap is full.
   float worst_dist2() const {
-    return full() ? storage_[0].dist2
-                  : std::numeric_limits<float>::infinity();
+    return size_ > 0 && full() ? storage_[size_ - 1].dist2
+                               : std::numeric_limits<float>::infinity();
   }
 
   void push(std::size_t index, float dist2) {
+    const Neighbor cand{index, dist2};
+    std::size_t pos;
     if (!full()) {
-      storage_[size_++] = {index, dist2};
-      std::push_heap(storage_.begin(), storage_.begin() + size_, cmp);
-    } else if (size_ > 0 && dist2 < storage_[0].dist2) {
-      std::pop_heap(storage_.begin(), storage_.begin() + size_, cmp);
-      storage_[size_ - 1] = {index, dist2};
-      std::push_heap(storage_.begin(), storage_.begin() + size_, cmp);
+      pos = size_++;
+    } else if (size_ > 0 && cand < storage_[size_ - 1]) {
+      pos = size_ - 1;  // evict the current worst
+    } else {
+      return;
     }
+    while (pos > 0 && cand < storage_[pos - 1]) {
+      storage_[pos] = storage_[pos - 1];
+      --pos;
+    }
+    storage_[pos] = cand;
   }
 
-  /// Sorts the collected neighbors by increasing distance in place and
-  /// returns how many there are. The heap property is consumed.
-  std::size_t sort_ascending() {
-    std::sort(storage_.begin(), storage_.begin() + size_);
-    return size_;
-  }
+  /// Returns how many neighbors were collected; the storage prefix holds
+  /// them sorted by increasing (distance, index) — an invariant of push, so
+  /// this is O(1).
+  std::size_t sort_ascending() { return size_; }
 
  private:
-  static bool cmp(const Neighbor& a, const Neighbor& b) {
-    return a.dist2 < b.dist2;  // max-heap on distance
-  }
-
   std::span<Neighbor> storage_;
   std::size_t size_ = 0;
 };

@@ -7,7 +7,7 @@
 namespace volut {
 
 namespace {
-constexpr std::uint32_t kNoExcludeFlat =
+constexpr std::uint32_t kNoExclude =
     std::numeric_limits<std::uint32_t>::max();
 }
 
@@ -66,8 +66,14 @@ void TwoLayerOctree::build(std::span<const Vec3f> positions,
   auto build_cells = [&](std::size_t begin, std::size_t end) {
     for (std::size_t c = begin; c < end; ++c) {
       Cell& cell = cells_[c];
-      cell.tree.build(std::span<const Vec3f>(
-          flat_points_.data() + cell.begin, cell.end - cell.begin));
+      // Cell trees report global indices directly (the report_indices
+      // remap), so the shared heap tie-breaks on the indices consumers see
+      // and no post-search remap pass is needed.
+      cell.tree.build(
+          std::span<const Vec3f>(flat_points_.data() + cell.begin,
+                                 cell.end - cell.begin),
+          std::span<const std::uint32_t>(flat_to_global_.data() + cell.begin,
+                                         cell.end - cell.begin));
     }
   };
   if (pool != nullptr && pool->worker_count() > 1) {
@@ -98,14 +104,14 @@ AABB TwoLayerOctree::cell_bounds(int cx, int cy, int cz) const {
 }
 
 void TwoLayerOctree::knn_into(const Vec3f& query, NeighborHeap& heap,
-                              std::uint32_t exclude_flat) const {
+                              std::uint32_t exclude_global) const {
   // Fast path (the property the paper builds the two-layer octree around):
   // most queries resolve entirely within their own cell. Search it first; if
   // the current worst candidate is closer than every wall of the cell, no
   // other cell can contain a better neighbor and we are done.
   const int own = cell_of(query);
   const Cell& own_cell = cells_[static_cast<std::size_t>(own)];
-  own_cell.tree.knn_into(query, heap, own_cell.begin, exclude_flat);
+  own_cell.tree.knn_into(query, heap, /*index_offset=*/0, exclude_global);
   if (heap.full()) {
     const int cx = own / (kCellsPerAxis * kCellsPerAxis);
     const int cy = (own / kCellsPerAxis) % kCellsPerAxis;
@@ -117,7 +123,10 @@ void TwoLayerOctree::knn_into(const Vec3f& query, NeighborHeap& heap,
       const float hi = box.hi[a] - query[a];
       wall2 = std::min({wall2, lo * lo, hi * hi});
     }
-    if (heap.worst_dist2() <= wall2) return;
+    // Strict <: when the worst candidate sits at exactly wall distance, a
+    // neighboring cell may hold an equidistant point that wins the
+    // (distance, index) tie-break, so the spill search must still run.
+    if (heap.worst_dist2() < wall2) return;
   }
 
   // Slow path: order the remaining cells by distance from the query to the
@@ -145,13 +154,15 @@ void TwoLayerOctree::knn_into(const Vec3f& query, NeighborHeap& heap,
   }
   std::sort(order.begin(), order.begin() + n);
   for (int i = 0; i < n; ++i) {
+    // > (not >=): a cell at exactly the worst distance may still hold an
+    // equidistant neighbor that wins the index tie-break.
     if (heap.full() &&
-        order[static_cast<std::size_t>(i)].d2 >= heap.worst_dist2()) {
+        order[static_cast<std::size_t>(i)].d2 > heap.worst_dist2()) {
       break;
     }
     const Cell& cell =
         cells_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)].cell)];
-    cell.tree.knn_into(query, heap, cell.begin, exclude_flat);
+    cell.tree.knn_into(query, heap, /*index_offset=*/0, exclude_global);
   }
 }
 
@@ -160,9 +171,8 @@ std::vector<Neighbor> TwoLayerOctree::knn(const Vec3f& query,
   if (empty() || k == 0) return {};
   std::vector<Neighbor> result(std::min(k, size()));
   NeighborHeap heap(result);
-  knn_into(query, heap, kNoExcludeFlat);
+  knn_into(query, heap, kNoExclude);
   result.resize(heap.sort_ascending());
-  for (Neighbor& n : result) n.index = flat_to_global_[n.index];
   return result;
 }
 
@@ -175,27 +185,23 @@ void TwoLayerOctree::batch_knn(std::size_t k, NeighborBuffer& out,
     for (std::size_t c = cell_begin; c < cell_end; ++c) {
       const Cell& cell = cells_[c];
       for (std::uint32_t fi = cell.begin; fi < cell.end; ++fi) {
-        // The query's arena slot backs the heap; indices are flat during
-        // the search and remapped to global in place after the sort.
+        // The query's arena slot backs the heap; cell trees report global
+        // indices directly, so the sorted slot is the final answer.
         const std::uint32_t g = flat_to_global_[fi];
         const std::span<Neighbor> storage = out.slot(g);
         NeighborHeap heap(storage);
         if (exact) {
-          knn_into(flat_points_[fi], heap, fi);
+          knn_into(flat_points_[fi], heap, g);
         } else {
           // Own-cell search only; spill to the full search just for the
           // rare under-populated cells.
-          cell.tree.knn_into(flat_points_[fi], heap, cell.begin, fi);
+          cell.tree.knn_into(flat_points_[fi], heap, /*index_offset=*/0, g);
           if (!heap.full()) {
             heap.clear();
-            knn_into(flat_points_[fi], heap, fi);
+            knn_into(flat_points_[fi], heap, g);
           }
         }
-        const std::size_t n = heap.sort_ascending();
-        for (std::size_t s = 0; s < n; ++s) {
-          storage[s].index = flat_to_global_[storage[s].index];
-        }
-        out.set_count(g, n);
+        out.set_count(g, heap.sort_ascending());
       }
     }
   };

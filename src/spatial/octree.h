@@ -94,9 +94,11 @@ class TwoLayerOctree {
     KdTree tree;              // over flat_points_[begin, end)
   };
 
-  /// Heap indices are *flat* until mapped by the callers.
+  /// Cell trees report global indices (KdTree report_indices remap), so the
+  /// shared heap collects — and tie-breaks on — final indices; `exclude`
+  /// is a global index too.
   void knn_into(const Vec3f& query, NeighborHeap& heap,
-                std::uint32_t exclude_flat) const;
+                std::uint32_t exclude_global) const;
   AABB cell_bounds(int cx, int cy, int cz) const;
 
   std::size_t size_ = 0;

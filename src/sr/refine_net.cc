@@ -45,6 +45,7 @@ TrainingSet build_training_set(const PointCloud& ground_truth,
     // Supervision: displacement to the nearest ground-truth point,
     // normalized by the neighborhood radius (Eq. 9's per-point term).
     const Neighbor nearest_gt = gt_tree.nearest(center);
+    if (nearest_gt.index == KdTree::kNoNeighbor) continue;  // empty GT cloud
     const Vec3f delta =
         (ground_truth.position(nearest_gt.index) - center) / enc.radius;
     for (int a = 0; a < 3; ++a) {

@@ -12,6 +12,7 @@
 #include "src/platform/thread_pool.h"
 #include "src/spatial/kdtree.h"
 #include "src/spatial/knn.h"
+#include "src/spatial/knn_simd.h"
 #include "src/spatial/octree.h"
 
 namespace volut {
@@ -382,6 +383,253 @@ TEST(BatchKnnKdtreeTest, ExcludeSelfDropsTheQueryPoint) {
   for (std::size_t i = 0; i < pts.size(); ++i) {
     EXPECT_EQ(batched[i].size(), 4u);
     for (const Neighbor& n : batched[i]) EXPECT_NE(n.index, i);
+  }
+}
+
+TEST(KdTreeTest, NearestOnEmptyTreeReturnsSentinel) {
+  // Regression: nearest() used to call search(root_, ...) without an empty()
+  // check, reading nodes_[0] out of bounds on an empty tree.
+  const KdTree empty;
+  const Neighbor n = empty.nearest({1, 2, 3});
+  EXPECT_EQ(n.index, KdTree::kNoNeighbor);
+  EXPECT_TRUE(std::isinf(n.dist2));
+}
+
+TEST(KdTreeTest, EmptyAndOnePointEdgeCases) {
+  const KdTree empty;
+  EXPECT_TRUE(empty.knn({0, 0, 0}, 4).empty());
+  EXPECT_TRUE(empty.radius({0, 0, 0}, 10.0f).empty());
+  std::array<Neighbor, 4> storage;
+  NeighborHeap heap(storage);
+  empty.knn_into({0, 0, 0}, heap);  // must be a no-op, not an OOB read
+  EXPECT_EQ(heap.size(), 0u);
+
+  const std::vector<Vec3f> one = {{1, 2, 3}};
+  const KdTree tree(one);
+  const Neighbor n = tree.nearest({1, 2, 4});
+  EXPECT_EQ(n.index, 0u);
+  EXPECT_FLOAT_EQ(n.dist2, 1.0f);
+  EXPECT_EQ(tree.radius({1, 2, 3}, 0.5f).size(), 1u);
+  EXPECT_TRUE(tree.radius({9, 9, 9}, 0.5f).empty());
+}
+
+TEST(NeighborHeapTest, EquidistantTiesKeepLowestIndicesAtAnyOrder) {
+  // Regression: push() used to reject equal-distance candidates outright, so
+  // the kept set depended on insertion order. Under the (distance, index)
+  // order the heap must keep indices {0, 1, 2} however the ties arrive.
+  const std::vector<std::vector<std::size_t>> orders = {
+      {0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {3, 0, 5, 2, 4, 1}};
+  for (const auto& order : orders) {
+    std::array<Neighbor, 3> storage;
+    NeighborHeap heap(storage);
+    for (const std::size_t index : order) heap.push(index, 1.0f);
+    ASSERT_EQ(heap.sort_ascending(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(storage[i].index, i) << "order starting with " << order[0];
+    }
+  }
+}
+
+TEST(KnnTieBreakTest, LatticeTiesResolveByIndexOnEveryEngine) {
+  // Integer lattice: float arithmetic is exact, so equidistant shells are
+  // genuine ties and the (distance, index) order fully determines the
+  // result. Indices (not just distances) must match brute force.
+  std::vector<Vec3f> pts;
+  for (int x = 0; x < 7; ++x) {
+    for (int y = 0; y < 7; ++y) {
+      for (int z = 0; z < 7; ++z) {
+        pts.push_back({float(x), float(y), float(z)});
+      }
+    }
+  }
+  const KdTree tree(pts);
+  const TwoLayerOctree octree(pts);
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    // On-lattice and half-lattice queries maximize exact ties.
+    const Vec3f q{float(rng.next(13)) * 0.5f, float(rng.next(13)) * 0.5f,
+                  float(rng.next(13)) * 0.5f};
+    for (const std::size_t k : {1u, 4u, 7u}) {
+      const auto want = brute_knn(pts, q, k);
+      const auto got_kd = tree.knn(q, k);
+      const auto got_oct = octree.knn(q, k);
+      ASSERT_EQ(got_kd.size(), want.size());
+      ASSERT_EQ(got_oct.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got_kd[i].index, want[i].index) << "trial " << trial;
+        EXPECT_EQ(got_oct[i].index, want[i].index) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(KnnTieBreakTest, HeapMatchesMergeAndPruneOnLatticeMidpoints) {
+  // Eq. 2 parity on symmetric midpoints: both parents are exactly
+  // equidistant from the midpoint, so heap searches and merge_and_prune must
+  // break the tie identically (by index) for the lists to agree.
+  std::vector<Vec3f> pts;
+  for (int x = 0; x < 6; ++x) {
+    for (int y = 0; y < 6; ++y) {
+      for (int z = 0; z < 6; ++z) {
+        pts.push_back({float(x), float(y), float(z)});
+      }
+    }
+  }
+  const KdTree tree(pts);
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t pi = rng.next(pts.size());
+    const auto np = tree.knn(pts[pi], 16);
+    const std::size_t qi = np[1].index;  // an adjacent lattice point
+    const Vec3f mid = midpoint(pts[pi], pts[qi]);
+    const auto nq = tree.knn(pts[qi], 16);
+    const auto merged = merge_and_prune(np, nq, mid, pts, 4);
+    const auto exact = tree.knn(mid, 4);
+    ASSERT_EQ(merged.size(), exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(merged[i].index, exact[i].index) << "trial " << trial;
+      EXPECT_EQ(merged[i].dist2, exact[i].dist2) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MergeAndPruneTest, DeduplicatesBeyondSeenListCapacity) {
+  // Regression: with more than 64 distinct candidate indices the `seen` list
+  // saturates; a candidate admitted to the result after that point was never
+  // recorded, so a later duplicate of it could appear in the output twice.
+  std::vector<Vec3f> pts;
+  for (int i = 0; i < 70; ++i) pts.push_back({float(i), 0, 0});
+  const Vec3f query = pts[64];  // index 64 is the 65th candidate of `a`
+  std::vector<Neighbor> a;
+  for (std::size_t i = 0; i <= 64; ++i) a.push_back({i, 0.0f});
+  const std::vector<Neighbor> b = {{64, 0.0f}, {65, 0.0f}, {64, 0.0f}};
+  std::array<Neighbor, 8> out;
+  const std::size_t n = merge_and_prune_into(a, b, query, pts, 8, out);
+  ASSERT_EQ(n, 8u);
+  EXPECT_EQ(out[0].index, 64u);  // the query point itself, distance 0
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_NE(out[i].index, out[j].index)
+          << "duplicate index at output slots " << i << " and " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD backend: every dispatch level must be bit-identical to the scalar
+// oracle — same indices, same distances, same tie order — at every worker
+// count, for both the kd-tree batch and the octree batch engines.
+// ---------------------------------------------------------------------------
+
+/// Restores default dispatch even when an assertion fails mid-test.
+struct SimdLevelGuard {
+  ~SimdLevelGuard() { simd_clear_forced_level(); }
+};
+
+std::vector<SimdLevel> available_levels() {
+  std::vector<SimdLevel> levels;
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    if (simd_available(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+void expect_buffers_identical(const NeighborBuffer& got,
+                              const NeighborBuffer& want,
+                              const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].size(), want[i].size()) << label << " query " << i;
+    for (std::size_t j = 0; j < want[i].size(); ++j) {
+      ASSERT_EQ(got[i][j].index, want[i][j].index)
+          << label << " query " << i << " slot " << j;
+      ASSERT_EQ(got[i][j].dist2, want[i][j].dist2)
+          << label << " query " << i << " slot " << j;
+    }
+  }
+}
+
+TEST(SimdKnnTest, DispatchStateIsConsistent) {
+  SimdLevelGuard guard;
+  EXPECT_TRUE(simd_available(SimdLevel::kScalar));
+  EXPECT_TRUE(simd_force_level(SimdLevel::kScalar));
+  EXPECT_EQ(simd_active_level(), SimdLevel::kScalar);
+  for (const SimdLevel level : available_levels()) {
+    EXPECT_TRUE(simd_force_level(level));
+    EXPECT_EQ(simd_active_level(), level);
+    EXPECT_NE(leaf_scan_kernel(level), nullptr);
+    EXPECT_EQ(active_leaf_scan(), leaf_scan_kernel(level));
+  }
+  // The active level never exceeds what the cpuid probe found.
+  simd_clear_forced_level();
+  EXPECT_LE(static_cast<int>(simd_active_level()),
+            static_cast<int>(simd_detected_level()));
+}
+
+TEST(SimdKnnTest, AllLevelsBitIdenticalToScalarAcrossThreads) {
+  SimdLevelGuard guard;
+  // A random cloud (generic geometry) and a lattice (every distance tied):
+  // the latter is where a lax vector prefilter or tie-break would diverge.
+  std::vector<std::vector<Vec3f>> clouds;
+  Rng rng(83);
+  clouds.push_back(random_points(3000, rng));
+  clouds.emplace_back();
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) {
+      for (int z = 0; z < 12; ++z) {
+        clouds.back().push_back({float(x), float(y), float(z)});
+      }
+    }
+  }
+  for (const auto& pts : clouds) {
+    const KdTree tree(pts);
+    const TwoLayerOctree octree(pts);
+    ASSERT_TRUE(simd_force_level(SimdLevel::kScalar));
+    const NeighborBuffer ref_kd = batch_knn_kdtree(tree, pts, 8, nullptr,
+                                                   /*exclude_self=*/true);
+    const NeighborBuffer ref_oct = octree.batch_knn(8, nullptr);
+    for (const SimdLevel level : available_levels()) {
+      ASSERT_TRUE(simd_force_level(level));
+      for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(workers);
+        ThreadPool* p = workers > 1 ? &pool : nullptr;
+        const NeighborBuffer kd =
+            batch_knn_kdtree(tree, pts, 8, p, /*exclude_self=*/true);
+        expect_buffers_identical(kd, ref_kd, simd_level_name(level));
+        const NeighborBuffer oct = octree.batch_knn(8, p);
+        expect_buffers_identical(oct, ref_oct, simd_level_name(level));
+      }
+    }
+  }
+}
+
+TEST(SimdKnnTest, VectorLevelsMatchBruteForceIndicesOnLattice) {
+  // Exactness (not just cross-level consistency): the active level — whatever
+  // the host supports — must reproduce brute-force indices through genuine
+  // float ties.
+  SimdLevelGuard guard;
+  std::vector<Vec3f> pts;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      for (int z = 0; z < 8; ++z) {
+        pts.push_back({float(x), float(y), float(z)});
+      }
+    }
+  }
+  for (const SimdLevel level : available_levels()) {
+    ASSERT_TRUE(simd_force_level(level));
+    const KdTree tree(pts);
+    const NeighborBuffer batch = batch_knn_kdtree(tree, pts, 6, nullptr,
+                                                  /*exclude_self=*/true);
+    for (std::size_t i = 0; i < pts.size(); i += 41) {
+      const auto want = brute_knn(pts, pts[i], 6, /*exclude=*/i);
+      ASSERT_EQ(batch[i].size(), want.size());
+      for (std::size_t j = 0; j < want.size(); ++j) {
+        EXPECT_EQ(batch[i][j].index, want[j].index)
+            << simd_level_name(level) << " query " << i << " slot " << j;
+      }
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include "src/core/rng.h"
 #include "src/platform/thread_pool.h"
+#include "src/spatial/knn_simd.h"
 #include "src/sr/interpolation.h"
 
 namespace volut {
@@ -81,6 +82,39 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.octree ? "octree" : "kdtree") +
              (info.param.reuse ? "_reuse" : "_fresh");
     });
+
+TEST(SimdDeterminismTest, InterpolateBitIdenticalAcrossSimdLevelsAndWorkers) {
+  // The full SR stage-1..3 pipeline must fingerprint identically whichever
+  // leaf-scan kernel the kNN dispatch picks, at every worker count — the
+  // end-to-end form of the SIMD exactness contract (spatial_test checks the
+  // buffers directly).
+  struct Guard {
+    ~Guard() { simd_clear_forced_level(); }
+  } guard;
+  const PointCloud pc = test_cloud(3000, 27);
+  InterpolationConfig cfg;
+  cfg.k = 4;
+  cfg.dilation = 2;
+  for (const bool use_octree : {false, true}) {
+    cfg.use_octree = use_octree;
+    ASSERT_TRUE(simd_force_level(SimdLevel::kScalar));
+    const std::uint64_t reference = fingerprint(interpolate(pc, 2.7, cfg));
+    for (const SimdLevel level :
+         {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+      if (!simd_available(level)) continue;
+      ASSERT_TRUE(simd_force_level(level));
+      for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(workers);
+        const std::uint64_t fp = fingerprint(
+            interpolate(pc, 2.7, cfg, workers > 1 ? &pool : nullptr));
+        EXPECT_EQ(fp, reference)
+            << simd_level_name(level) << " x " << workers << " workers, "
+            << (use_octree ? "octree" : "kdtree");
+      }
+    }
+    simd_clear_forced_level();
+  }
+}
 
 TEST(InterpolateScratchTest, ReusedScratchMatchesFreshScratch) {
   const PointCloud pc = test_cloud(2000, 22);
