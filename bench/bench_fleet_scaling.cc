@@ -4,12 +4,20 @@
 //   1. session scale-up on a fixed replica pool (contention -> QoE tails),
 //   2. replica scale-out under a fixed 64-session load,
 //   3. encode-cache size sweep (hit rate vs eviction churn),
-//   4. ThreadPool scaling of the measured-SR fan-out with a bit-identity
+//   4. admission sweep under a tight session cap: reject-at-cap
+//      (max_wait = 0) vs waiting rooms of growing patience,
+//   5. ThreadPool scaling of the measured-SR fan-out with a bit-identity
 //      check across 1/2/4/8 workers (same discipline as bench_micro_kernels).
-// Every run reports QoE p50/p95/p99, stall rate, cache hit rate and bytes
-// served. VOLUT_BENCH_FLEET_SESSIONS overrides the base session count.
+// Every run reports QoE p50/p95/p99, stall rate, cache hit rate, bytes
+// served, waiting-room p50/p95 wait and peak queue depth (the latter three
+// also land in the --json records). VOLUT_BENCH_FLEET_SESSIONS overrides the
+// base session count.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <string>
 
 #include "bench/common.h"
 #include "src/platform/timer.h"
@@ -71,6 +79,9 @@ void record_result(bench::JsonReporter& json, const std::string& sweep,
   json.add(prefix + "/stall_rate", r.stall_rate, "fraction");
   json.add(prefix + "/cache_hit_rate", r.cache.hit_rate(), "fraction");
   json.add(prefix + "/total_mb", r.total_bytes / 1e6, "MB");
+  json.add(prefix + "/wait_p50", r.wait_time.p50, "s");
+  json.add(prefix + "/wait_p95", r.wait_time.p95, "s");
+  json.add(prefix + "/queue_depth_peak", double(r.queue_depth_peak), "count");
   json.add(prefix + "/wall_ms", wall_ms, "ms");
 }
 
@@ -148,6 +159,43 @@ int main(int argc, char** argv) {
     json.add(std::string(label) + "/evictions", double(r.cache.evictions),
              "count");
     json.add(std::string(label) + "/stall_rate", r.stall_rate, "fraction");
+  }
+
+  bench::print_header(
+      "Admission under a tight session cap: reject vs waiting room");
+  std::printf("%-18s %8s %8s %9s %9s %9s %10s %9s\n", "max wait", "admit",
+              "reject", "timeout", "wait p50", "wait p95", "depth peak",
+              "QoE p50");
+  bench::print_rule();
+  {
+    const double kInfWait = std::numeric_limits<double>::infinity();
+    for (double max_wait : {0.0, 0.5, 2.0, kInfWait}) {
+      FleetConfig fleet = fleet_config(n, 2, 64);
+      fleet.max_sessions_per_replica = std::max<std::size_t>(1, n / 16);
+      fleet.max_wait_seconds = max_wait;
+      Timer timer;
+      const FleetResult r = run_fleet(fleet);
+      const double wall = timer.elapsed_ms();
+      char label[64];
+      if (std::isinf(max_wait)) {
+        std::snprintf(label, sizeof(label), "unbounded");
+      } else {
+        std::snprintf(label, sizeof(label), "%.1f s", max_wait);
+      }
+      std::printf("%-18s %8zu %8zu %9zu %8.2fs %8.2fs %10zu %9.1f\n", label,
+                  r.admitted, r.rejected, r.timed_out, r.wait_time.p50,
+                  r.wait_time.p95, r.queue_depth_peak, r.normalized_qoe.p50);
+      if (std::isinf(max_wait)) {
+        std::snprintf(label, sizeof(label), "wait_unbounded");
+      } else {
+        std::snprintf(label, sizeof(label), "wait_%.1fs", max_wait);
+      }
+      record_result(json, "admission", label, r, wall);
+      const std::string prefix = std::string("admission/") + label;
+      json.add(prefix + "/admitted", double(r.admitted), "count");
+      json.add(prefix + "/rejected", double(r.rejected), "count");
+      json.add(prefix + "/timed_out", double(r.timed_out), "count");
+    }
   }
 
   bench::print_header(

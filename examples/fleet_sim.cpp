@@ -7,6 +7,7 @@
 // serving-side view the single-session example (streaming_session) lacks.
 //
 // Usage: ./example_fleet_sim [sessions] [replicas]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -32,8 +33,13 @@ int main(int argc, char** argv) {
         mean_mbps, mean_mbps * 0.25, 600.0, 40 + r));
   }
   fleet.rtt_seconds = 0.020;
-  fleet.max_sessions_per_replica = (sessions + replicas - 1) / replicas + 2;
+  // Cap below a fair split so the waiting room sees traffic; queued viewers
+  // give up (convert to rejections) after 10 s.
+  fleet.max_sessions_per_replica =
+      std::max<std::size_t>(1, sessions / (2 * replicas));
+  fleet.max_wait_seconds = 10.0;
   fleet.cache_budget_bytes = 32u << 20;
+  fleet.shard_cache_per_replica = true;  // one consistent-hash shard/replica
   fleet.encode_seconds_full = 0.040;
   fleet.measure_sr_stride = 5;
 
@@ -41,9 +47,13 @@ int main(int argc, char** argv) {
   const FleetResult result = run_fleet(fleet, &pool);
 
   std::printf("fleet: %zu sessions over %zu replicas (%zu admitted, %zu "
-              "rejected), %.1f s simulated\n",
+              "rejected of which %zu timed out), %.1f s simulated\n",
               sessions, replicas, result.admitted, result.rejected,
-              result.sim_seconds);
+              result.timed_out, result.sim_seconds);
+  std::printf("waiting room: peak depth %zu, wait p50 %.2f s / p95 %.2f s "
+              "(max %.2f s)\n",
+              result.queue_depth_peak, result.wait_time.p50,
+              result.wait_time.p95, result.wait_time.max);
 
   std::printf("\nper-replica load:\n");
   for (std::size_t r = 0; r < result.replicas.size(); ++r) {
@@ -61,6 +71,18 @@ int main(int argc, char** argv) {
               (unsigned long long)result.cache.misses,
               100.0 * result.cache.hit_rate(),
               (unsigned long long)result.cache.evictions);
+  std::printf("single-flight encodes: %llu started, %llu requests coalesced "
+              "onto in-flight encodes (peak %zu in flight)\n",
+              (unsigned long long)result.encode_queue.encode_starts,
+              (unsigned long long)result.encode_queue.coalesced_joins,
+              result.encode_queue.peak_in_flight);
+  for (std::size_t s = 0; s < result.cache_shards.size(); ++s) {
+    const EncodeCacheStats& shard = result.cache_shards[s];
+    std::printf("  shard %zu (replica %zu): %llu hits / %llu misses "
+                "(%.0f%% hit rate)\n",
+                s, s, (unsigned long long)shard.hits,
+                (unsigned long long)shard.misses, 100.0 * shard.hit_rate());
+  }
 
   std::printf("\nfleet QoE (normalized 0-100):\n");
   std::printf("  p50 %.1f   p95 %.1f   p99 %.1f   mean %.1f\n",

@@ -48,6 +48,12 @@ double SharedLink::next_completion_time(double now) const {
   std::vector<double> rem(n);
   for (std::size_t i = 0; i < n; ++i) rem[i] = flows_[i].remaining_bits;
   double t = std::max(0.0, now);
+  // A flow with nothing left to send (zero-byte artifact, or drained exactly
+  // dry at a window edge) completes immediately — even on a dead link, where
+  // the rate-gated segment walk below would never see it.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rem[i] <= 0.0) return t;
+  }
   // Zero-capacity futility cutoff: every involved trace is periodic, so if
   // no flow drains a single bit across a span covering a couple of full
   // periods of each trace, capacity is effectively zero and nothing will
@@ -94,7 +100,24 @@ std::vector<SharedLink::Completion> SharedLink::advance(double now,
   std::vector<Completion> done;
   double t = std::max(0.0, now);
   for (int guard = 0; guard < kMaxSegments; ++guard) {
-    if (flows_.empty() || t >= until) break;
+    // Flows with nothing left to send complete at t before any rate math —
+    // the segment walk below skips rate-0 flows, which would strand a
+    // zero-byte flow on a dead uplink forever. Swept ahead of the window
+    // check so even a zero-width advance(now, now) delivers them.
+    for (std::size_t i = 0; i < flows_.size();) {
+      if (flows_[i].remaining_bits <= 0.0) {
+        bytes_completed_ += flows_[i].total_bytes;
+        done.push_back({flows_[i].id, t});
+        flows_.erase(flows_.begin() + std::ptrdiff_t(i));
+      } else {
+        ++i;
+      }
+    }
+    // `>` (not `>=`): one zero-width pass at t == until still runs the
+    // winner scan, so a completion whose time rounds to exactly `until`
+    // (tiny remainder / huge rate) is delivered instead of livelocking the
+    // caller's event loop, which was promised it by next_completion_time.
+    if (flows_.empty() || t > until) break;
     const std::size_t n = flows_.size();
     const double boundary = next_boundary(t);
     const double segment_end = std::min(boundary, until);

@@ -59,7 +59,9 @@ class SharedLink {
   /// Drains every active flow from `now` to `until` at its instantaneous
   /// rate, removing flows as they finish. Completions are reported in
   /// (time, id) order; simultaneous completions resolve by lowest id, so the
-  /// schedule is deterministic.
+  /// schedule is deterministic. Flows with zero remaining bytes complete
+  /// immediately at max(now, 0) regardless of link capacity (even
+  /// advance(now, now) delivers them).
   std::vector<Completion> advance(double now, double until);
 
  private:

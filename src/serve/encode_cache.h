@@ -32,8 +32,26 @@ struct EncodeCacheKey {
 };
 
 /// Maps a continuous density ratio in (0, 1] onto 1..buckets (monotone;
-/// requests in the same bucket share one cached encode).
+/// requests in the same bucket share one cached encode). Non-finite input is
+/// pinned deterministically: NaN and anything <= 0 land in bucket 1, +inf in
+/// the top bucket — a corrupt ratio must not produce an unspecified key.
 std::uint32_t density_bucket(double density_ratio, std::uint32_t buckets);
+
+/// FNV-1a over the key fields; shared by the cache index and the
+/// consistent-hash shard ring (serve/encode_queue.h).
+struct EncodeCacheKeyHash {
+  std::size_t operator()(const EncodeCacheKey& k) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t v : {std::uint64_t(k.video),
+                            std::uint64_t(k.points_per_frame),
+                            std::uint64_t(k.content_seed),
+                            std::uint64_t(k.chunk),
+                            std::uint64_t(k.density_bucket)}) {
+      h = (h ^ v) * 1099511628211ull;
+    }
+    return std::size_t(h);
+  }
+};
 
 struct EncodeCacheStats {
   std::uint64_t hits = 0;
@@ -63,7 +81,22 @@ class EncodeCache {
   /// order); otherwise counts a miss, encodes-and-inserts `bytes` (evicting
   /// least-recently-used entries to fit), and returns false. Artifacts larger
   /// than the whole budget are served but never admitted.
+  ///
+  /// This is the synchronous (zero-latency-encode) path; the fleet's
+  /// latency-accurate path goes through EncodeQueue, which splits the probe
+  /// (lookup at request time) from the admission (insert at encode
+  /// completion) so an artifact is never resident before it exists.
   bool fetch(const EncodeCacheKey& key, std::size_t bytes);
+
+  /// Residency probe at request time: counts a hit (refreshing LRU order) or
+  /// a miss, but never inserts — on a miss the caller is expected to encode
+  /// and insert() when the encode completes.
+  bool lookup(const EncodeCacheKey& key);
+
+  /// Admits a finished encode of `bytes` bytes, evicting LRU entries to fit.
+  /// Artifacts larger than the whole budget count an oversized_reject and
+  /// are dropped; keys already resident are left untouched.
+  void insert(const EncodeCacheKey& key, std::size_t bytes);
 
   /// Residency probe without touching counters or LRU order.
   bool contains(const EncodeCacheKey& key) const {
@@ -71,26 +104,13 @@ class EncodeCache {
   }
 
  private:
-  struct KeyHash {
-    std::size_t operator()(const EncodeCacheKey& k) const {
-      std::uint64_t h = 1469598103934665603ull;
-      for (std::uint64_t v : {std::uint64_t(k.video),
-                              std::uint64_t(k.points_per_frame),
-                              std::uint64_t(k.content_seed),
-                              std::uint64_t(k.chunk),
-                              std::uint64_t(k.density_bucket)}) {
-        h = (h ^ v) * 1099511628211ull;
-      }
-      return std::size_t(h);
-    }
-  };
-
   using LruList = std::list<std::pair<EncodeCacheKey, std::size_t>>;
 
   std::size_t budget_bytes_;
   std::size_t bytes_cached_ = 0;
   LruList lru_;  // front = most recently used
-  std::unordered_map<EncodeCacheKey, LruList::iterator, KeyHash> index_;
+  std::unordered_map<EncodeCacheKey, LruList::iterator, EncodeCacheKeyHash>
+      index_;
   EncodeCacheStats stats_;
 };
 

@@ -1,0 +1,117 @@
+#include "src/serve/encode_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "src/core/rng.h"
+
+namespace volut {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Full SplitMix64 step (golden-ratio offset + core mix64 finalizer):
+/// decorrelates sequential ids and near-identical hashes alike.
+std::uint64_t ring_mix(std::uint64_t x) {
+  return mix64(x + 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes_per_shard)
+    : shards_(std::max<std::size_t>(1, shards)) {
+  vnodes_per_shard = std::max<std::size_t>(1, vnodes_per_shard);
+  ring_.reserve(shards_ * vnodes_per_shard);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (std::size_t v = 0; v < vnodes_per_shard; ++v) {
+      const std::uint64_t pos = ring_mix((std::uint64_t(s) << 20) | v);
+      ring_.emplace_back(pos, std::uint32_t(s));
+    }
+  }
+  // Position collisions are astronomically unlikely, but resolve them by
+  // shard index so the map stays deterministic either way.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::shard_of(std::uint64_t key_hash) const {
+  if (shards_ == 1) return 0;
+  // FNV-style hashes of near-identical keys (adjacent chunks of one video)
+  // cluster in the high bits and would all fall into one inter-vnode gap;
+  // finalize to avalanche quality before placing the key on the ring.
+  const std::uint64_t placed = ring_mix(key_hash);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(placed, std::uint32_t(0)));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+EncodeQueue::EncodeQueue(std::size_t shards, std::size_t total_budget_bytes)
+    : ring_(std::max<std::size_t>(1, shards)) {
+  const std::size_t n = ring_.shard_count();
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.emplace_back(total_budget_bytes / n);
+  }
+}
+
+EncodeQueue::Decision EncodeQueue::request(const EncodeCacheKey& key,
+                                           std::size_t bytes, double now,
+                                           double encode_seconds) {
+  EncodeCache& cache = shards_[shard_of(key)];
+  if (cache.lookup(key)) {
+    return {/*hit=*/true, /*coalesced=*/false, /*ready_at=*/now};
+  }
+  const auto it = in_flight_.find(key);
+  if (it != in_flight_.end()) {
+    ++stats_.coalesced_joins;
+    return {false, /*coalesced=*/true, it->second.ready_at};
+  }
+  ++stats_.encode_starts;
+  if (encode_seconds <= 0.0) {
+    // Free encode: complete synchronously, exactly the pre-queue fetch path.
+    cache.insert(key, bytes);
+    ++stats_.completions;
+    return {false, false, now};
+  }
+  const double ready_at = now + encode_seconds;
+  in_flight_.emplace(key, InFlight{ready_at, seq_, bytes});
+  schedule_.emplace(std::make_pair(ready_at, seq_), key);
+  ++seq_;
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_.size());
+  return {false, false, ready_at};
+}
+
+double EncodeQueue::next_ready() const {
+  return schedule_.empty() ? kInf : schedule_.begin()->first.first;
+}
+
+void EncodeQueue::complete_until(double time) {
+  while (!schedule_.empty() && schedule_.begin()->first.first <= time) {
+    const EncodeCacheKey key = schedule_.begin()->second;
+    const auto it = in_flight_.find(key);
+    if (it == in_flight_.end()) {
+      throw std::logic_error("EncodeQueue: scheduled encode has no entry");
+    }
+    shards_[shard_of(key)].insert(key, it->second.bytes);
+    in_flight_.erase(it);
+    schedule_.erase(schedule_.begin());
+    ++stats_.completions;
+  }
+}
+
+EncodeCacheStats EncodeQueue::cache_stats() const {
+  EncodeCacheStats total;
+  for (const EncodeCache& cache : shards_) {
+    const EncodeCacheStats& s = cache.stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.insertions += s.insertions;
+    total.oversized_rejects += s.oversized_rejects;
+  }
+  return total;
+}
+
+}  // namespace volut

@@ -1,0 +1,124 @@
+// Single-flight encode queues over sharded encode caches.
+//
+// EncodeCache alone answers "is this artifact resident?"; it cannot say
+// "someone is already encoding it". The fleet used to insert at miss time,
+// so a second viewer requesting the same (video, chunk, density-bucket)
+// artifact while the first encode was still in flight saw a phantom hit and
+// paid zero encode delay — the artifact was served before it existed.
+//
+// EncodeQueue is the request-coalescing discipline production serving stacks
+// use instead: the first miss of a key starts an encode that completes at
+// now + encode_seconds; every concurrent requester of the same key attaches
+// to that in-flight encode as a waiter and is released only at its
+// completion time; the cache insertion happens at completion, never at
+// request. Zero-latency encodes degenerate to the old synchronous
+// lookup-then-insert path, which is what keeps run_session parity exact.
+//
+// The cache side is sharded: keys map onto one of N EncodeCache shards
+// through a consistent-hash ring (so a fleet can pin one shard per replica
+// and observe budgets/hit rates per replica, and resizing the pool only
+// remaps ~1/N of the key space). One shard reproduces the old fleet-wide
+// cache bit for bit.
+//
+// Everything is driven by the caller's event loop and absolute clock: the
+// queue never reads wall time, so it inherits the fleet's determinism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/serve/encode_cache.h"
+
+namespace volut {
+
+/// Consistent-hash ring: `shards` shards, each projected onto the ring at
+/// `vnodes_per_shard` pseudo-random points; a key hashes to the first vnode
+/// clockwise from it. Growing from N to N+1 shards only moves keys that land
+/// on the new shard's vnodes (~1/(N+1) of the space).
+class HashRing {
+ public:
+  explicit HashRing(std::size_t shards, std::size_t vnodes_per_shard = 64);
+
+  std::size_t shard_count() const { return shards_; }
+  std::size_t shard_of(std::uint64_t key_hash) const;
+
+ private:
+  std::size_t shards_;
+  /// (ring position, shard), sorted by position.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+struct EncodeQueueStats {
+  /// Misses that started a fresh encode (one server-side encode each).
+  std::uint64_t encode_starts = 0;
+  /// Requests that attached to an already in-flight encode of their key —
+  /// the requests that were phantom hits before single-flight.
+  std::uint64_t coalesced_joins = 0;
+  /// Encodes completed and admitted to (or rejected by) their cache shard.
+  std::uint64_t completions = 0;
+  std::size_t peak_in_flight = 0;
+};
+
+class EncodeQueue {
+ public:
+  /// `shards` caches (>= 1) splitting `total_budget_bytes` evenly.
+  EncodeQueue(std::size_t shards, std::size_t total_budget_bytes);
+
+  struct Decision {
+    /// Resident in its shard at request time.
+    bool hit = false;
+    /// Joined an in-flight encode started by an earlier request.
+    bool coalesced = false;
+    /// Absolute time the artifact is available server-side: the request
+    /// time for hits (and zero-latency encodes), the encode completion time
+    /// otherwise. Never in the past.
+    double ready_at = 0.0;
+  };
+
+  /// One artifact request at absolute time `now`. The caller must have
+  /// drained completions up to `now` first (complete_until), so residency
+  /// reflects every encode that finished by `now`. A fresh encode completes
+  /// at now + encode_seconds; encode_seconds <= 0 encodes synchronously.
+  Decision request(const EncodeCacheKey& key, std::size_t bytes, double now,
+                   double encode_seconds);
+
+  /// Earliest in-flight encode completion, +inf when none — an event source
+  /// for the caller's timeline.
+  double next_ready() const;
+
+  /// Completes every in-flight encode with ready_at <= time, inserting the
+  /// artifacts into their shards in (ready_at, start order) order.
+  void complete_until(double time);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(const EncodeCacheKey& key) const {
+    return ring_.shard_of(EncodeCacheKeyHash{}(key));
+  }
+  const EncodeCache& shard(std::size_t s) const { return shards_[s]; }
+  std::size_t in_flight() const { return in_flight_.size(); }
+
+  const EncodeQueueStats& stats() const { return stats_; }
+  /// Hit/miss/eviction counters aggregated over every shard.
+  EncodeCacheStats cache_stats() const;
+
+ private:
+  struct InFlight {
+    double ready_at = 0.0;
+    std::uint64_t seq = 0;  // start order; tie-break for equal ready times
+    std::size_t bytes = 0;
+  };
+
+  std::vector<EncodeCache> shards_;
+  HashRing ring_;
+  std::unordered_map<EncodeCacheKey, InFlight, EncodeCacheKeyHash> in_flight_;
+  /// (ready_at, seq) -> key; ordered completion schedule.
+  std::map<std::pair<double, std::uint64_t>, EncodeCacheKey> schedule_;
+  std::uint64_t seq_ = 0;
+  EncodeQueueStats stats_;
+};
+
+}  // namespace volut

@@ -1,6 +1,8 @@
 #include "src/serve/fleet.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -19,6 +21,7 @@ constexpr std::size_t kNoReplica = std::size_t(-1);
 
 enum class ClientState {
   kPending,      // not yet arrived
+  kWaiting,      // in the admission waiting room; t_next = timeout deadline
   kIdle,         // will issue its next chunk request at t_next
   kRequested,    // request in flight: RTT + (on cache miss) encode latency
   kDownloading,  // owns an active flow on its replica's uplink
@@ -30,9 +33,11 @@ struct ClientRuntime {
   std::unique_ptr<SessionEngine> engine;
   ClientState state = ClientState::kPending;
   std::size_t replica = kNoReplica;
-  /// Next state-transition time for kPending/kIdle/kRequested.
+  /// Next state-transition time for kPending/kWaiting/kIdle/kRequested.
   double t_next = 0.0;
   double issued_at = 0.0;
+  /// When this client entered the waiting room (kWaiting only).
+  double waiting_since = 0.0;
   double flow_bytes = 0.0;
   bool startup_flow = false;
   ChunkPlan plan;
@@ -121,14 +126,17 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
   }
   std::vector<std::unordered_map<std::uint64_t, std::size_t>> flow_owner(
       n_replicas);
-  EncodeCache cache(config.cache_budget_bytes);
+  EncodeQueue queue(config.shard_cache_per_replica ? n_replicas : 1,
+                    config.cache_budget_bytes);
   std::vector<ClientRuntime> clients(n_clients);
   std::vector<std::size_t> load(n_replicas, 0);
+  std::deque<std::size_t> waiting_room;  // FIFO of kWaiting client indices
   std::vector<SrWorkItem> sr_work;
 
   FleetResult result;
   result.sessions.resize(n_clients);
   result.replica_of.assign(n_clients, kNoReplica);
+  result.wait_seconds.assign(n_clients, 0.0);
   result.replicas.resize(n_replicas);
 
   std::size_t remaining = n_clients;
@@ -139,18 +147,67 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
   }
 
   double now = 0.0;
+
+  // Admission bookkeeping shared by immediate arrivals and waiting-room
+  // promotions: binds client i to replica r, starting its session at `when`.
+  const auto admit_client = [&](std::size_t i, std::size_t r, double when) {
+    ClientRuntime& c = clients[i];
+    c.replica = r;
+    ++load[r];
+    result.replica_of[i] = r;
+    ++result.replicas[r].sessions_assigned;
+    ++result.admitted;
+    c.engine = std::make_unique<SessionEngine>(config.clients[i].session,
+                                               config.clients[i].motion,
+                                               /*session_start=*/when);
+    if (c.engine->done()) {  // degenerate zero-chunk config
+      c.state = ClientState::kDone;
+      --load[r];
+      --remaining;
+      return;
+    }
+    if (c.engine->has_startup_download()) {
+      c.state = ClientState::kRequested;
+      c.t_next = when + config.rtt_seconds;
+      c.issued_at = when;
+      c.flow_bytes = c.engine->startup_bytes();
+      c.startup_flow = true;
+    } else {
+      c.state = ClientState::kIdle;
+      c.t_next = when;
+    }
+  };
+
+  // FIFO admission: as long as a replica has a free slot, the head of the
+  // waiting room takes it (least-loaded replica, lowest index on ties).
+  const auto drain_waiting_room = [&]() {
+    while (!waiting_room.empty()) {
+      const std::size_t r =
+          route_arrival(load, config.max_sessions_per_replica);
+      if (r == kNoReplica) break;
+      const std::size_t i = waiting_room.front();
+      waiting_room.pop_front();
+      result.wait_seconds[i] = now - clients[i].waiting_since;
+      admit_client(i, r, now);
+    }
+  };
+
   // ~3 events per chunk (request, flow start, completion); anything far past
   // that means the timeline stopped making progress.
   const std::size_t max_events = 1000 + 16 * expected_chunks;
   for (std::size_t iter = 0; remaining > 0 && iter < max_events; ++iter) {
-    // Next event: a client transition or the earliest flow completion.
+    // Next event: a client transition (arrival, request release, waiting-
+    // room timeout), an encode completion, or the earliest flow completion.
     double t_event = kInf;
     for (const ClientRuntime& c : clients) {
-      if (c.state == ClientState::kPending || c.state == ClientState::kIdle ||
+      if (c.state == ClientState::kPending ||
+          c.state == ClientState::kWaiting ||
+          c.state == ClientState::kIdle ||
           c.state == ClientState::kRequested) {
         t_event = std::min(t_event, c.t_next);
       }
     }
+    t_event = std::min(t_event, queue.next_ready());
     for (const SharedLink& link : links) {
       t_event = std::min(t_event, link.next_completion_time(now));
     }
@@ -160,6 +217,10 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
     for (std::size_t r = 0; r < n_replicas; ++r) {
       for (const SharedLink::Completion& done : links[r].advance(now, t_event)) {
         const auto owner = flow_owner[r].find(done.id);
+        if (owner == flow_owner[r].end()) {
+          throw std::logic_error(
+              "run_fleet: uplink completed a flow no client owns");
+        }
         const std::size_t i = owner->second;
         flow_owner[r].erase(owner);
         ClientRuntime& c = clients[i];
@@ -183,7 +244,11 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
     }
     now = t_event;
 
-    // 2. Requests whose RTT + encode latency elapsed become uplink flows.
+    // 2. Settle finished encodes: their artifacts become cache-resident now,
+    // so any request from here on sees them as hits.
+    queue.complete_until(now);
+
+    // 3. Requests whose RTT + encode latency elapsed become uplink flows.
     for (std::size_t i = 0; i < n_clients; ++i) {
       ClientRuntime& c = clients[i];
       if (c.state != ClientState::kRequested || c.t_next > now) continue;
@@ -197,63 +262,80 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
                                              links[c.replica].active_flows());
     }
 
-    // 3. Arrivals: admission control + least-loaded routing.
+    // 4. Sessions that completed in step 1 freed admission slots: promote
+    // waiting-room clients before new arrivals are considered (FIFO).
+    drain_waiting_room();
+
+    // 5. Arrivals: admission control + least-loaded routing. When every
+    // replica is at the cap the arrival queues (or, with the waiting room
+    // disabled, is rejected on the spot).
     for (std::size_t i = 0; i < n_clients; ++i) {
       ClientRuntime& c = clients[i];
       if (c.state != ClientState::kPending || c.t_next > now) continue;
       const std::size_t r =
           route_arrival(load, config.max_sessions_per_replica);
       if (r == kNoReplica) {
-        c.state = ClientState::kRejected;
-        ++result.rejected;
-        --remaining;
+        if (config.max_wait_seconds > 0.0) {
+          c.state = ClientState::kWaiting;
+          c.waiting_since = now;
+          c.t_next = std::isfinite(config.max_wait_seconds)
+                         ? now + config.max_wait_seconds
+                         : kInf;
+          waiting_room.push_back(i);
+          result.queue_depth_peak =
+              std::max(result.queue_depth_peak, waiting_room.size());
+        } else {
+          c.state = ClientState::kRejected;
+          ++result.rejected;
+          --remaining;
+        }
         continue;
       }
-      c.replica = r;
-      ++load[r];
-      result.replica_of[i] = r;
-      ++result.replicas[r].sessions_assigned;
-      ++result.admitted;
-      c.engine = std::make_unique<SessionEngine>(config.clients[i].session,
-                                                 config.clients[i].motion,
-                                                 /*session_start=*/now);
-      if (c.engine->done()) {  // degenerate zero-chunk config
-        c.state = ClientState::kDone;
-        --load[r];
-        --remaining;
-        continue;
-      }
-      if (c.engine->has_startup_download()) {
-        c.state = ClientState::kRequested;
-        c.t_next = now + config.rtt_seconds;
-        c.issued_at = now;
-        c.flow_bytes = c.engine->startup_bytes();
-        c.startup_flow = true;
-      } else {
-        c.state = ClientState::kIdle;
-        c.t_next = now;
-      }
+      admit_client(i, r, now);
     }
 
-    // 4. Idle clients at their request time plan the next chunk: ABR against
-    // the fair share they would get, then the shared encode cache decides
-    // whether the replica pays encode latency.
+    // 6. A degenerate (zero-chunk) arrival in step 5 may have freed its slot
+    // right back; give it to the waiting room before timeouts fire.
+    drain_waiting_room();
+
+    // 7. Waiting-room timeouts convert to rejections. Runs after the
+    // admission drains, so an admission at exactly the deadline wins.
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      ClientRuntime& c = clients[i];
+      if (c.state != ClientState::kWaiting || c.t_next > now) continue;
+      c.state = ClientState::kRejected;
+      result.wait_seconds[i] = now - c.waiting_since;
+      ++result.rejected;
+      ++result.timed_out;
+      --remaining;
+      std::erase(waiting_room, i);
+    }
+
+    // 8. Idle clients at their request time plan the next chunk: ABR against
+    // the fair share they would get, then the single-flight encode queue
+    // decides when the artifact is ready — a resident artifact releases
+    // after one RTT, a fresh miss starts an encode, and a concurrent miss of
+    // an in-flight key coalesces onto that encode and waits for it.
     for (std::size_t i = 0; i < n_clients; ++i) {
       ClientRuntime& c = clients[i];
       if (c.state != ClientState::kIdle || c.t_next > now) continue;
       c.plan = c.engine->plan_chunk(now, links[c.replica].share_mbps(now));
       const SessionConfig& session = c.engine->config();
+      const double encode_seconds =
+          config.encode_seconds_full * c.plan.density_ratio;
       // ViVo encodes are culled to the requesting viewer's predicted
       // viewport, so they are per-client artifacts: always encoded fresh,
       // never cached (and never poisoning the shared key space).
-      const bool cacheable = session.kind != SystemKind::kVivo;
-      const bool hit =
-          cacheable &&
-          cache.fetch(cache_key(session.video, c.plan.index,
-                                c.plan.density_ratio, config.density_buckets),
-                      static_cast<std::size_t>(c.plan.bytes));
-      const double encode_delay =
-          hit ? 0.0 : config.encode_seconds_full * c.plan.density_ratio;
+      double ready_at = now + encode_seconds;
+      if (session.kind != SystemKind::kVivo) {
+        ready_at = queue
+                       .request(cache_key(session.video, c.plan.index,
+                                          c.plan.density_ratio,
+                                          config.density_buckets),
+                               static_cast<std::size_t>(c.plan.bytes), now,
+                               encode_seconds)
+                       .ready_at;
+      }
       if (config.measure_sr_stride != 0 &&
           c.plan.index % config.measure_sr_stride == 0 &&
           (session.kind == SystemKind::kVolutContinuous ||
@@ -265,7 +347,7 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
       c.issued_at = now;
       c.flow_bytes = c.plan.bytes;
       c.startup_flow = false;
-      c.t_next = now + config.rtt_seconds + encode_delay;
+      c.t_next = ready_at + config.rtt_seconds;
     }
   }
   result.sim_seconds = now;
@@ -277,9 +359,10 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
   result.completed = result.unfinished_sessions == 0;
 
   // ------------------------------------------------------------- rollups
-  std::vector<double> qoes, norms, stalls;
+  std::vector<double> qoes, norms, stalls, waits;
   for (std::size_t i = 0; i < n_clients; ++i) {
     if (!clients[i].engine) continue;
+    waits.push_back(result.wait_seconds[i]);
     result.sessions[i] = clients[i].engine->finish();
     const SessionResult& s = result.sessions[i];
     qoes.push_back(s.qoe);
@@ -296,7 +379,13 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
   const double watched = result.total_stall_seconds + result.played_seconds;
   result.stall_rate = watched > 0.0 ? result.total_stall_seconds / watched
                                     : 0.0;
-  result.cache = cache.stats();
+  result.wait_time = summarize(waits);
+  result.cache = queue.cache_stats();
+  result.cache_shards.reserve(queue.shard_count());
+  for (std::size_t s = 0; s < queue.shard_count(); ++s) {
+    result.cache_shards.push_back(queue.shard(s).stats());
+  }
+  result.encode_queue = queue.stats();
   for (std::size_t r = 0; r < n_replicas; ++r) {
     ReplicaStats& stats = result.replicas[r];
     stats.bytes_completed = links[r].bytes_completed();

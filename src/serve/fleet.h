@@ -9,11 +9,16 @@
 // per-client access-link traces) that contend for
 //   * replica uplink capacity — each replica's BandwidthTrace is fair-shared
 //     across its active chunk downloads (net/shared_link.h),
-//   * server encode work — a fleet-wide LRU chunk-encode cache
-//     (serve/encode_cache.h) turns repeated (video, chunk, density-bucket)
-//     encodes into hits; misses pay a server-side encode latency,
-//   * admission slots — arrivals are routed to the least-loaded replica and
-//     rejected when every replica is at its session cap.
+//   * server encode work — single-flight encode queues over sharded LRU
+//     chunk-encode caches (serve/encode_queue.h): the first miss of a
+//     (video, chunk, density-bucket) key starts an encode, concurrent
+//     requesters coalesce onto it as waiters released at its completion,
+//     and the artifact becomes cache-resident only once the encode finishes
+//     (no phantom hits),
+//   * admission slots — arrivals are routed to the least-loaded replica;
+//     when every replica is at its session cap they enter a FIFO waiting
+//     room and are admitted as sessions complete, converting to rejections
+//     after max_wait_seconds (0 = classic reject-at-cap).
 // Per-session QoE rolls up into fleet percentiles via metrics/stats.
 //
 // Determinism: the timeline is strictly ordered (time, then event class,
@@ -34,6 +39,7 @@
 #include "src/net/trace.h"
 #include "src/platform/thread_pool.h"
 #include "src/serve/encode_cache.h"
+#include "src/serve/encode_queue.h"
 #include "src/sr/lut.h"
 #include "src/stream/session.h"
 
@@ -55,11 +61,23 @@ struct FleetConfig {
   /// One shared uplink per replica; at least one required.
   std::vector<BandwidthTrace> replica_uplinks;
   double rtt_seconds = 0.010;
-  /// Admission cap per replica (0 = unbounded). Arrivals beyond every
-  /// replica's cap are rejected, not queued.
+  /// Admission cap per replica (0 = unbounded).
   std::size_t max_sessions_per_replica = 0;
-  /// Byte budget of the fleet-wide chunk-encode cache.
+  /// How long an arrival that finds every replica at the cap may sit in the
+  /// FIFO waiting room before converting to a rejection. 0 (the default)
+  /// disables the waiting room and reproduces classic reject-at-cap;
+  /// +infinity means wait until admitted (or until the timeline ends).
+  /// Waiters are admitted least-loaded-first (lowest replica index on ties)
+  /// as sessions complete; an admission at exactly the waiter's deadline
+  /// still wins over the timeout.
+  double max_wait_seconds = 0.0;
+  /// Byte budget of the chunk-encode cache (split evenly across shards when
+  /// sharding is on).
   std::size_t cache_budget_bytes = 256u << 20;
+  /// When true, the encode cache is split into one shard per replica with a
+  /// consistent-hash key->shard map (per-replica budgets and hit rates,
+  /// FleetResult::cache_shards). False keeps the single fleet-wide cache.
+  bool shard_cache_per_replica = false;
   /// Density-ratio ladder resolution for encode-cache keys.
   std::uint32_t density_buckets = 16;
   /// Server-side encode latency of a cache miss, in seconds for a
@@ -107,6 +125,17 @@ struct FleetResult {
   std::vector<std::size_t> replica_of;
   std::size_t admitted = 0;
   std::size_t rejected = 0;
+  /// Subset of `rejected` that queued in the waiting room first and timed
+  /// out after max_wait_seconds.
+  std::size_t timed_out = 0;
+
+  /// Index-aligned with clients: seconds spent in the waiting room before
+  /// admission (0 for immediate admission) or before timing out.
+  std::vector<double> wait_seconds;
+  /// Waiting-room time over admitted clients (immediate admissions count as
+  /// zero wait).
+  Summary wait_time;
+  std::size_t queue_depth_peak = 0;
 
   /// False when the timeline stopped before every admitted session finished
   /// (dead uplink, event-budget exhaustion): session results and rollups
@@ -126,7 +155,14 @@ struct FleetResult {
   double stall_rate = 0.0;
   double sim_seconds = 0.0;
 
+  /// Hit/miss/eviction counters aggregated over every cache shard. A
+  /// coalesced join counts as a miss here (the artifact was not resident);
+  /// encode_queue.coalesced_joins says how many misses shared an encode.
   EncodeCacheStats cache;
+  /// Per-shard counters: one entry per replica when shard_cache_per_replica,
+  /// a single entry otherwise.
+  std::vector<EncodeCacheStats> cache_shards;
+  EncodeQueueStats encode_queue;
   std::vector<ReplicaStats> replicas;
   std::vector<FleetSrSample> sr_samples;
 };

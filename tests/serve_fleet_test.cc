@@ -1,9 +1,11 @@
 // Integration sweep for the fleet simulator: a 64-session, 2-replica run
-// with the shared encode cache and measured SR enabled, checked for
-// bit-identical results across 1/2/4/8 pool workers (the acceptance bar for
-// the serve/ subsystem). Labeled "integration" in ctest.
+// with single-flight encode queues, per-replica cache shards, the admission
+// waiting room and measured SR enabled, checked for bit-identical results
+// across 1/2/4/8 pool workers (the acceptance bar for the serve/ subsystem).
+// Labeled "integration" in ctest.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "src/serve/fleet.h"
@@ -18,8 +20,13 @@ FleetConfig sweep_config() {
   fleet.replica_uplinks = {BandwidthTrace::lte(120.0, 25.0, 600.0, 21),
                            BandwidthTrace::lte(120.0, 25.0, 600.0, 22)};
   fleet.rtt_seconds = 0.020;
-  fleet.max_sessions_per_replica = 48;
+  // Tight enough that late arrivals queue in the waiting room; the infinite
+  // patience means everyone is eventually admitted, so the QoE rollups still
+  // cover all 64 sessions.
+  fleet.max_sessions_per_replica = 4;
+  fleet.max_wait_seconds = std::numeric_limits<double>::infinity();
   fleet.cache_budget_bytes = 64u << 20;
+  fleet.shard_cache_per_replica = true;
   fleet.encode_seconds_full = 0.040;
   fleet.measure_sr_stride = 5;
   return fleet;
@@ -42,12 +49,61 @@ TEST(FleetSweepTest, SixtyFourSessionsTwoReplicas) {
   // Shared content across viewers must produce real cache reuse.
   EXPECT_GT(result.cache.hits, 0u);
   EXPECT_GT(result.cache.hit_rate(), 0.1);
+  // The tight session cap pushed arrivals through the waiting room.
+  EXPECT_GT(result.queue_depth_peak, 0u);
+  EXPECT_GT(result.wait_time.max, 0.0);
+  EXPECT_EQ(result.wait_time.count, 64u);
+  EXPECT_EQ(result.timed_out, 0u);
+  // Per-replica cache shards: one per replica, aggregating to the totals.
+  ASSERT_EQ(result.cache_shards.size(), 2u);
+  EXPECT_EQ(result.cache_shards[0].hits + result.cache_shards[1].hits,
+            result.cache.hits);
+  EXPECT_EQ(result.cache_shards[0].misses + result.cache_shards[1].misses,
+            result.cache.misses);
+  // Single-flight bookkeeping: every miss either started an encode or
+  // coalesced onto one, and every started encode completed.
+  EXPECT_EQ(result.encode_queue.encode_starts +
+                result.encode_queue.coalesced_joins,
+            result.cache.misses);
+  EXPECT_EQ(result.encode_queue.completions,
+            result.encode_queue.encode_starts);
   // Both replicas carried sessions and bytes.
   EXPECT_GT(result.replicas[0].sessions_assigned, 0u);
   EXPECT_GT(result.replicas[1].sessions_assigned, 0u);
   EXPECT_GT(result.replicas[0].bytes_completed, 0.0);
   EXPECT_GT(result.replicas[1].bytes_completed, 0.0);
   EXPECT_FALSE(result.sr_samples.empty());
+}
+
+TEST(FleetSweepTest, ZeroMaxWaitReproducesRejectAtCapAdmissionCounts) {
+  // Admission counts pinned against the pre-waiting-room fleet (verified by
+  // temporarily reverting this PR): encodes are free, so the timeline is
+  // identical and max_wait_seconds = 0 must reproduce reject-at-cap exactly.
+  FleetConfig fleet;
+  fleet.clients = make_mixed_fleet(/*n=*/24, /*arrival_spacing=*/0.25,
+                                   /*max_chunks=*/8, /*video_scale=*/0.01);
+  fleet.replica_uplinks = {BandwidthTrace::stable(15.0, 600.0),
+                           BandwidthTrace::stable(15.0, 600.0)};
+  fleet.rtt_seconds = 0.020;
+  fleet.max_sessions_per_replica = 6;
+  fleet.encode_seconds_full = 0.0;
+  ASSERT_EQ(fleet.max_wait_seconds, 0.0);  // the default: reject at cap
+  const FleetResult rejecting = run_fleet(fleet);
+  EXPECT_EQ(rejecting.admitted, 14u);
+  EXPECT_EQ(rejecting.rejected, 10u);
+  EXPECT_EQ(rejecting.timed_out, 0u);
+  EXPECT_EQ(rejecting.queue_depth_peak, 0u);
+  EXPECT_EQ(rejecting.replicas[0].sessions_assigned, 7u);
+  EXPECT_EQ(rejecting.replicas[1].sessions_assigned, 7u);
+
+  // The same overload with an unbounded waiting room loses nobody.
+  FleetConfig queued = fleet;
+  queued.max_wait_seconds = std::numeric_limits<double>::infinity();
+  const FleetResult waiting = run_fleet(queued);
+  EXPECT_EQ(waiting.admitted, 24u);
+  EXPECT_EQ(waiting.rejected, 0u);
+  EXPECT_GT(waiting.queue_depth_peak, 0u);
+  EXPECT_TRUE(waiting.completed);
 }
 
 TEST(FleetSweepTest, BitIdenticalAcrossPoolWorkerCounts) {
@@ -72,6 +128,13 @@ TEST(FleetSweepTest, BitIdenticalAcrossPoolWorkerCounts) {
     EXPECT_DOUBLE_EQ(run.stall_rate, reference.stall_rate);
     EXPECT_EQ(run.cache.hits, reference.cache.hits);
     EXPECT_EQ(run.cache.evictions, reference.cache.evictions);
+    EXPECT_EQ(run.encode_queue.coalesced_joins,
+              reference.encode_queue.coalesced_joins);
+    ASSERT_EQ(run.wait_seconds.size(), reference.wait_seconds.size());
+    for (std::size_t i = 0; i < run.wait_seconds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(run.wait_seconds[i], reference.wait_seconds[i]);
+    }
+    EXPECT_EQ(run.queue_depth_peak, reference.queue_depth_peak);
     ASSERT_EQ(run.sr_samples.size(), reference.sr_samples.size());
     for (std::size_t i = 0; i < run.sr_samples.size(); ++i) {
       EXPECT_DOUBLE_EQ(run.sr_samples[i].chamfer,

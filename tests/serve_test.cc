@@ -1,7 +1,9 @@
-// Tests for the fleet serving layer: encode cache eviction, fair-share link
-// conservation, admission/routing, single-session parity and determinism.
+// Tests for the fleet serving layer: encode cache eviction, single-flight
+// encode queues, fair-share link conservation, admission/routing (waiting
+// room + reject-at-cap), single-session parity and determinism.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -9,6 +11,7 @@
 
 #include "src/net/shared_link.h"
 #include "src/serve/encode_cache.h"
+#include "src/serve/encode_queue.h"
 #include "src/serve/fleet.h"
 #include "src/stream/session.h"
 
@@ -69,6 +72,109 @@ TEST(EncodeCacheTest, OversizedArtifactsNeverAdmitted) {
   EXPECT_TRUE(cache.contains(key_of(0)));
 }
 
+TEST(EncodeCacheTest, LookupProbesWithoutInserting) {
+  EncodeCache cache(1000);
+  EXPECT_FALSE(cache.lookup(key_of(0)));
+  // The miss counted but did NOT insert: the artifact does not exist until
+  // its encode completes (single-flight discipline).
+  EXPECT_FALSE(cache.contains(key_of(0)));
+  cache.insert(key_of(0), 100);
+  EXPECT_TRUE(cache.lookup(key_of(0)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  // Re-inserting a resident key is a no-op, not a double count.
+  cache.insert(key_of(0), 100);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.bytes_cached(), 100u);
+  // Oversized artifacts are dropped at insert time.
+  cache.insert(key_of(1), 5000);
+  EXPECT_FALSE(cache.contains(key_of(1)));
+  EXPECT_EQ(cache.stats().oversized_rejects, 1u);
+}
+
+TEST(EncodeQueueTest, FirstMissStartsEncodeInsertedAtCompletion) {
+  EncodeQueue queue(1, 1000);
+  const auto first = queue.request(key_of(0), 100, /*now=*/1.0,
+                                   /*encode_seconds=*/0.5);
+  EXPECT_FALSE(first.hit);
+  EXPECT_FALSE(first.coalesced);
+  EXPECT_DOUBLE_EQ(first.ready_at, 1.5);
+  // Not resident mid-encode: this is exactly the phantom-hit fix.
+  EXPECT_FALSE(queue.shard(0).contains(key_of(0)));
+  EXPECT_EQ(queue.in_flight(), 1u);
+
+  // A concurrent requester coalesces onto the in-flight encode and waits
+  // for the same completion instead of seeing an instant hit.
+  const auto second = queue.request(key_of(0), 100, 1.2, 0.5);
+  EXPECT_FALSE(second.hit);
+  EXPECT_TRUE(second.coalesced);
+  EXPECT_DOUBLE_EQ(second.ready_at, 1.5);
+  EXPECT_EQ(queue.stats().encode_starts, 1u);
+  EXPECT_EQ(queue.stats().coalesced_joins, 1u);
+
+  EXPECT_DOUBLE_EQ(queue.next_ready(), 1.5);
+  queue.complete_until(1.5);
+  EXPECT_TRUE(queue.shard(0).contains(key_of(0)));
+  EXPECT_EQ(queue.in_flight(), 0u);
+  EXPECT_EQ(queue.stats().completions, 1u);
+  const auto third = queue.request(key_of(0), 100, 1.6, 0.5);
+  EXPECT_TRUE(third.hit);
+  EXPECT_DOUBLE_EQ(third.ready_at, 1.6);
+}
+
+TEST(EncodeQueueTest, ZeroLatencyEncodesAreSynchronous) {
+  // encode_seconds = 0 must reproduce the plain lookup-then-insert cache
+  // (the run_session-parity setting): resident immediately, nothing queued.
+  EncodeQueue queue(1, 1000);
+  const auto miss = queue.request(key_of(0), 100, 2.0, 0.0);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_DOUBLE_EQ(miss.ready_at, 2.0);
+  EXPECT_EQ(queue.in_flight(), 0u);
+  EXPECT_TRUE(queue.shard(0).contains(key_of(0)));
+  EXPECT_TRUE(queue.request(key_of(0), 100, 2.0, 0.0).hit);
+}
+
+TEST(EncodeQueueTest, ShardsSplitBudgetAndSpreadKeys) {
+  EncodeQueue queue(4, 4000);
+  ASSERT_EQ(queue.shard_count(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(queue.shard(s).budget_bytes(), 1000u);
+  }
+  std::array<bool, 4> touched{};
+  for (std::uint32_t chunk = 0; chunk < 64; ++chunk) {
+    const std::size_t s = queue.shard_of(key_of(chunk));
+    ASSERT_LT(s, 4u);
+    touched[s] = true;
+    queue.request(key_of(chunk), 10, 0.0, 0.0);
+    // shard_of is a pure function of the key.
+    EXPECT_EQ(queue.shard_of(key_of(chunk)), s);
+  }
+  for (bool b : touched) EXPECT_TRUE(b);
+  const EncodeCacheStats total = queue.cache_stats();
+  EXPECT_EQ(total.misses, 64u);
+  EXPECT_EQ(total.insertions, 64u);
+}
+
+TEST(HashRingTest, GrowingTheRingOnlyMovesKeysToTheNewShard) {
+  // The consistent-hashing contract: adding a shard remaps only the keys
+  // that now belong to it; nothing shuffles between surviving shards.
+  const HashRing four(4);
+  const HashRing five(5);
+  std::size_t moved = 0;
+  for (std::uint32_t chunk = 0; chunk < 500; ++chunk) {
+    const std::uint64_t h = EncodeCacheKeyHash{}(key_of(chunk));
+    const std::size_t before = four.shard_of(h);
+    const std::size_t after = five.shard_of(h);
+    if (before != after) {
+      EXPECT_EQ(after, 4u) << "key moved between surviving shards";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);    // the new shard took some of the space...
+  EXPECT_LT(moved, 250u);  // ...but nowhere near a full reshuffle
+}
+
 TEST(DensityBucketTest, MonotoneAndBounded) {
   EXPECT_EQ(density_bucket(0.0, 16), 1u);
   EXPECT_EQ(density_bucket(1.0, 16), 16u);
@@ -79,6 +185,19 @@ TEST(DensityBucketTest, MonotoneAndBounded) {
     EXPECT_GE(b, prev);
     prev = b;
   }
+}
+
+TEST(DensityBucketTest, NonFiniteAndNegativeRatiosAreDeterministic) {
+  // NaN used to flow into std::clamp (unspecified comparisons / UB on the
+  // float->uint cast); corrupt ratios must map to a pinned bucket instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(density_bucket(nan, 16), 1u);
+  EXPECT_EQ(density_bucket(-inf, 16), 1u);
+  EXPECT_EQ(density_bucket(inf, 16), 16u);
+  EXPECT_EQ(density_bucket(-0.25, 16), 1u);
+  EXPECT_EQ(density_bucket(nan, 1), 1u);
+  EXPECT_EQ(density_bucket(inf, 1), 1u);
 }
 
 TEST(SharedLinkTest, SingleFlowMatchesTransferTime) {
@@ -262,6 +381,121 @@ TEST(FleetTest, AdmissionControlRejectsBeyondCapacityAndBalances) {
   EXPECT_TRUE(result.sessions[6].chunks.empty());
 }
 
+TEST(FleetTest, ConcurrentMissesCoalesceOntoOneEncodeAndBothWait) {
+  // Phantom-hit regression: two viewers of the same video whose requests
+  // land inside one encode window. Pre-single-flight, the second viewer got
+  // an instant "hit" on an artifact that did not exist yet and paid no
+  // encode delay; now it must coalesce onto the in-flight encode and wait
+  // for its completion.
+  FleetConfig fleet;
+  SessionConfig session = small_session(SystemKind::kRaw);
+  session.max_chunks = 6;
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.clients.push_back({session, 0.01, {}, nullptr});
+  fleet.replica_uplinks = {BandwidthTrace::stable(400.0, 600.0)};
+  fleet.rtt_seconds = 0.020;
+  fleet.encode_seconds_full = 0.5;
+  const FleetResult result = run_fleet(fleet);
+
+  // Both clients pay the encode on the cold chunk (transfer itself is ~ms).
+  EXPECT_GT(result.sessions[0].chunks[0].download_seconds, 0.5);
+  EXPECT_GT(result.sessions[1].chunks[0].download_seconds, 0.45);
+  // ...but the server ran ONE encode per artifact, not two.
+  EXPECT_GT(result.encode_queue.coalesced_joins, 0u);
+  EXPECT_EQ(result.encode_queue.encode_starts, 6u);
+  EXPECT_EQ(result.encode_queue.encode_starts +
+                result.encode_queue.coalesced_joins,
+            result.cache.misses);
+  EXPECT_EQ(result.encode_queue.completions, 6u);
+  EXPECT_EQ(result.cache.insertions, 6u);
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(FleetTest, WaitingRoomAdmitsFifoAsSlotsFree) {
+  FleetConfig fleet;
+  SessionConfig session = small_session(SystemKind::kRaw);
+  session.max_chunks = 3;
+  // Simultaneous arrivals: exactly one gets the only slot; the other two
+  // queue no matter how short the sessions are.
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.replica_uplinks = {BandwidthTrace::stable(100.0, 600.0)};
+  fleet.max_sessions_per_replica = 1;
+  fleet.max_wait_seconds = 60.0;
+  const FleetResult result = run_fleet(fleet);
+
+  EXPECT_EQ(result.admitted, 3u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.timed_out, 0u);
+  EXPECT_EQ(result.queue_depth_peak, 2u);
+  EXPECT_TRUE(result.completed);
+  // FIFO: the first arrival (lowest index on simultaneous arrivals) never
+  // waited; each later one waited its whole predecessor's session longer.
+  EXPECT_DOUBLE_EQ(result.wait_seconds[0], 0.0);
+  EXPECT_GT(result.wait_seconds[1], 0.0);
+  EXPECT_GT(result.wait_seconds[2], result.wait_seconds[1]);
+  EXPECT_EQ(result.wait_time.count, 3u);
+  EXPECT_DOUBLE_EQ(result.wait_time.max, result.wait_seconds[2]);
+  for (const SessionResult& s : result.sessions) {
+    EXPECT_EQ(s.chunks.size(), 3u);
+  }
+
+  // Admission order and wait accounting are deterministic run to run.
+  const FleetResult again = run_fleet(fleet);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(again.wait_seconds[i], result.wait_seconds[i]);
+    EXPECT_EQ(again.replica_of[i], result.replica_of[i]);
+  }
+}
+
+TEST(FleetTest, WaitingRoomTimeoutConvertsToRejection) {
+  FleetConfig fleet;
+  SessionConfig session = small_session(SystemKind::kRaw);
+  session.max_chunks = 10;
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.clients.push_back({session, 0.1, {}, nullptr});
+  fleet.replica_uplinks = {BandwidthTrace::stable(8.0, 600.0)};
+  fleet.max_sessions_per_replica = 1;
+  fleet.max_wait_seconds = 0.5;  // far shorter than session 0
+  const FleetResult result = run_fleet(fleet);
+
+  EXPECT_EQ(result.admitted, 1u);
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_EQ(result.timed_out, 1u);
+  // The timeout deadline is an event: the conversion lands exactly at it.
+  EXPECT_NEAR(result.wait_seconds[1], 0.5, 1e-9);
+  EXPECT_TRUE(result.sessions[1].chunks.empty());
+  EXPECT_EQ(result.replica_of[1], std::size_t(-1));
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(FleetTest, OneClientParityHoldsWithWaitingRoomAndShardsEnabled) {
+  // Arming the waiting room and per-replica cache shards must not perturb
+  // an uncontended session: still exactly run_session.
+  const BandwidthTrace trace = BandwidthTrace::lte(40.0, 12.0, 300.0, 9);
+  const SessionConfig session = small_session(SystemKind::kVolutContinuous);
+  const SessionResult solo = run_session(session, SimulatedLink{trace, 0.020});
+
+  FleetConfig fleet;
+  fleet.clients.push_back({session, 0.0, {}, nullptr});
+  fleet.replica_uplinks = {trace};
+  fleet.rtt_seconds = 0.020;
+  fleet.max_sessions_per_replica = 1;
+  fleet.max_wait_seconds = 30.0;
+  fleet.shard_cache_per_replica = true;
+  fleet.encode_seconds_full = 0.0;
+  const FleetResult result = run_fleet(fleet);
+
+  ASSERT_EQ(result.admitted, 1u);
+  ASSERT_EQ(result.cache_shards.size(), 1u);
+  EXPECT_NEAR(result.sessions[0].qoe, solo.qoe,
+              1e-6 * std::max(1.0, std::abs(solo.qoe)));
+  EXPECT_NEAR(result.sessions[0].total_bytes, solo.total_bytes, 1e-3);
+  EXPECT_EQ(result.queue_depth_peak, 0u);
+  EXPECT_DOUBLE_EQ(result.wait_time.max, 0.0);
+}
+
 TEST(FleetTest, SharedVideoPopulatesEncodeCache) {
   // Four raw clients on one video request identical full-density chunks:
   // after the first viewer everything is a cache hit.
@@ -378,6 +612,32 @@ TEST(FleetTest, LateVivoArrivalSamplesMotionFromSessionStart) {
     EXPECT_NEAR(early[i].quality, late[i].quality, 1e-9) << "chunk " << i;
     EXPECT_NEAR(early[i].density_ratio, late[i].density_ratio, 1e-9);
   }
+}
+
+TEST(SharedLinkTest, ZeroByteFlowCompletesEvenOnDeadLink) {
+  // Regression: the segment walk skips rate-0 flows, which used to strand a
+  // zero-byte flow on a zero-bandwidth uplink forever even though it has
+  // nothing left to transfer.
+  SharedLink link(BandwidthTrace({0.0, 0.0}, 0.5));
+  link.start_flow(0.0);
+  EXPECT_EQ(link.next_completion_time(1.25), 1.25);
+  const auto done = link.advance(1.25, 1.25);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].time, 1.25);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+TEST(SharedLinkTest, ZeroByteFlowDoesNotDelayOthers) {
+  SharedLink link(BandwidthTrace::stable(80.0, 600.0));
+  const std::uint64_t data = link.start_flow(10e6);
+  const std::uint64_t empty = link.start_flow(0.0);
+  const auto done = link.advance(0.0, 10.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, empty);
+  EXPECT_EQ(done[0].time, 0.0);
+  EXPECT_EQ(done[1].id, data);
+  // The empty flow exits instantly, so the real one keeps the whole link.
+  EXPECT_NEAR(done[1].time, 1.0, 1e-9);
 }
 
 TEST(SharedLinkTest, DeadTraceReturnsInfinityQuickly) {
