@@ -67,7 +67,8 @@ double rate_based_session_qoe(const SessionConfig& base,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   const double scale = bench::bench_scale();
   SessionConfig base;
   base.video = VideoSpec::dress(scale);

@@ -28,7 +28,8 @@ double time_ms(const std::function<void()>& fn, int reps = 3) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   const double scale = bench::bench_scale();
   const SyntheticVideo video(VideoSpec::dress(scale));
   Rng rng(9);

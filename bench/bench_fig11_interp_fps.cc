@@ -41,7 +41,8 @@ InterpolationTiming measure(const PointCloud& input, double ratio,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   const double scale = bench::bench_scale();
   const SyntheticVideo video(VideoSpec::dress(scale));
   Rng rng(4);

@@ -54,7 +54,8 @@ void run_and_print(const std::vector<Scenario>& scenarios,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   const double scale = bench::bench_scale();
   SessionConfig base;
   base.video = VideoSpec::dress(scale);

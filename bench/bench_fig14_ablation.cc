@@ -11,7 +11,8 @@
 #include "bench/common.h"
 #include "src/stream/session.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   using namespace volut;
   const double scale = bench::bench_scale();
 

@@ -29,7 +29,8 @@ double mlp_activation_bytes(const nn::Mlp& mlp, std::size_t batch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   const double scale = bench::bench_scale();
   const std::size_t frame_points =
       VideoSpec::dress(1.0).points_per_frame;  // paper-scale frame

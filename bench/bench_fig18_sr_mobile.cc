@@ -9,7 +9,8 @@
 #include "src/platform/device_profile.h"
 #include "src/platform/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   using namespace volut;
   const double scale = bench::bench_scale();
   auto assets = bench::train_assets(scale);

@@ -47,7 +47,8 @@ QualityResult evaluate(const PointCloud& sr, const PointCloud& gt,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   const double scale = bench::bench_scale();
   auto assets = bench::train_assets(scale);
 

@@ -83,6 +83,11 @@ void record_result(bench::JsonReporter& json, const std::string& sweep,
   json.add(prefix + "/wait_p95", r.wait_time.p95, "s");
   json.add(prefix + "/queue_depth_peak", double(r.queue_depth_peak), "count");
   json.add(prefix + "/wall_ms", wall_ms, "ms");
+  json.add(prefix + "/timeline_events", double(r.timeline_events), "count");
+  if (wall_ms > 0.0) {
+    json.add(prefix + "/events_per_sec",
+             double(r.timeline_events) / (wall_ms / 1000.0), "1/s");
+  }
 }
 
 void print_table_header() {
@@ -107,22 +112,37 @@ std::uint64_t fingerprint(const FleetResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsDump obs = bench::ObsDump::from_args(argc, argv);
   bench::JsonReporter json =
       bench::JsonReporter::from_args(argc, argv, "bench_fleet_scaling");
   const std::size_t n = base_sessions();
 
   bench::print_header("Fleet scaling: sessions on a 2-replica pool");
   print_table_header();
+  // Timeline throughput over the session sweep: the tracked "how fast does
+  // the fleet simulator turn events" number for bench_compare.
+  std::uint64_t sweep_events = 0;
+  double sweep_wall_ms = 0.0;
   for (std::size_t sessions : {n / 4, n / 2, n, n * 2}) {
     const FleetConfig fleet = fleet_config(sessions, 2, 64);
     Timer timer;
     const FleetResult r = run_fleet(fleet);
     const double wall = timer.elapsed_ms();
+    sweep_events += r.timeline_events;
+    sweep_wall_ms += wall;
     char label[64];
     std::snprintf(label, sizeof(label), "%zu sessions", sessions);
     print_result_row(label, r, wall);
     std::snprintf(label, sizeof(label), "%zu_sessions", sessions);
     record_result(json, "sessions", label, r, wall);
+  }
+  if (sweep_wall_ms > 0.0) {
+    const double events_per_sec =
+        double(sweep_events) / (sweep_wall_ms / 1000.0);
+    std::printf("\ntimeline throughput: %.0f events/s over the session "
+                "sweep (%llu events)\n",
+                events_per_sec, (unsigned long long)sweep_events);
+    json.add("fleet/events_per_sec", events_per_sec, "1/s");
   }
 
   bench::print_header("Replica scale-out under a fixed session load");

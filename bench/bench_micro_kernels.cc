@@ -453,6 +453,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  volut::bench::ObsDump obs = volut::bench::ObsDump::from_args(argc, argv);
   volut::bench::JsonReporter json =
       volut::bench::JsonReporter::from_args(argc, argv, "bench_micro_kernels");
   // SIMD dispatch metadata: which level the cpuid probe found and which one

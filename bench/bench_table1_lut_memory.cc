@@ -20,7 +20,8 @@ const char* human(double bytes, char* buf, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs = volut::bench::ObsDump::from_args(argc, argv);
   using namespace volut;
   bench::print_header(
       "Table 1: LUT memory vs receptive field (n) and bins (b)");

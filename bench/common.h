@@ -17,6 +17,8 @@
 
 #include "src/core/rng.h"
 #include "src/data/synthetic_video.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sr/lut_builder.h"
 #include "src/sr/pipeline.h"
 #include "src/sr/refine_net.h"
@@ -178,6 +180,78 @@ class JsonReporter {
   std::string name_;
   std::string path_;
   std::vector<Record> records_;
+};
+
+// ---------------------------------------------------------------------------
+// Observability dumps: every bench also accepts `--trace <path>` (Chrome
+// trace-event JSON of the TraceSpans hit during the run, loadable in
+// Perfetto / chrome://tracing) and `--metrics <path>` (MetricsRegistry
+// snapshot, volut-metrics-v1 JSON). Both flags are stripped before
+// downstream parsers see argv, mirroring JsonReporter.
+// ---------------------------------------------------------------------------
+
+class ObsDump {
+ public:
+  /// Scans argv for `--trace <path>` / `--metrics <path>` (and `=` forms)
+  /// and removes them. Starts the global trace collector when a trace path
+  /// is given, so spans from this point on are captured.
+  static ObsDump from_args(int& argc, char** argv) {
+    std::string trace_path;
+    std::string metrics_path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace" && i + 1 < argc) {
+        trace_path = argv[++i];
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        trace_path = arg.substr(8);
+      } else if (arg == "--metrics" && i + 1 < argc) {
+        metrics_path = argv[++i];
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        metrics_path = arg.substr(10);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    return ObsDump(std::move(trace_path), std::move(metrics_path));
+  }
+
+  ObsDump(ObsDump&& other) noexcept
+      : trace_path_(std::move(other.trace_path_)),
+        metrics_path_(std::move(other.metrics_path_)) {
+    other.written_ = true;
+  }
+  ObsDump(const ObsDump&) = delete;
+  ObsDump& operator=(const ObsDump&) = delete;
+  ObsDump& operator=(ObsDump&&) = delete;
+
+  ~ObsDump() { write(); }
+
+  /// Stops the collector and writes whichever dumps were requested.
+  /// Idempotent; called automatically at destruction.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    if (!trace_path_.empty()) {
+      TraceCollector::global().stop();
+      TraceCollector::global().write_json(trace_path_);
+    }
+    if (!metrics_path_.empty()) {
+      MetricsRegistry::global().write_json(metrics_path_);
+    }
+  }
+
+ private:
+  ObsDump(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {
+    if (!trace_path_.empty()) TraceCollector::global().start();
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool written_ = false;
 };
 
 inline void print_header(const std::string& title) {

@@ -3,12 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace volut {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 // Bounds segment walks the same way BandwidthTrace::transfer_time does.
 constexpr int kMaxSegments = 10'000'000;
+
+Counter& flows_started_counter() {
+  static Counter& c = MetricsRegistry::global().counter("net/flows_started");
+  return c;
+}
+Counter& flows_completed_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("net/flows_completed");
+  return c;
+}
+Counter& bytes_completed_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("net/bytes_completed");
+  return c;
+}
+Counter& dead_trace_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("net/dead_trace_detections");
+  return c;
+}
 }  // namespace
 
 std::uint64_t SharedLink::start_flow(double bytes, const BandwidthTrace* cap) {
@@ -18,6 +40,7 @@ std::uint64_t SharedLink::start_flow(double bytes, const BandwidthTrace* cap) {
   flow.remaining_bits = flow.total_bytes * 8.0;
   flow.cap = cap;
   flows_.push_back(flow);
+  flows_started_counter().add();
   return flow.id;
 }
 
@@ -89,7 +112,10 @@ double SharedLink::next_completion_time(double now) const {
       }
     }
     idle_segments = drained ? 0 : idle_segments + 1;
-    if (std::size_t(idle_segments) > dead_span) return kInf;
+    if (std::size_t(idle_segments) > dead_span) {
+      dead_trace_counter().add();
+      return kInf;
+    }
     t = boundary;
   }
   return kInf;
@@ -107,6 +133,9 @@ std::vector<SharedLink::Completion> SharedLink::advance(double now,
     for (std::size_t i = 0; i < flows_.size();) {
       if (flows_[i].remaining_bits <= 0.0) {
         bytes_completed_ += flows_[i].total_bytes;
+        flows_completed_counter().add();
+        bytes_completed_counter().add(
+            std::uint64_t(std::llround(flows_[i].total_bytes)));
         done.push_back({flows_[i].id, t});
         flows_.erase(flows_.begin() + std::ptrdiff_t(i));
       } else {
@@ -149,6 +178,9 @@ std::vector<SharedLink::Completion> SharedLink::advance(double now,
       }
       bits_drained_ += flows_[winner].remaining_bits;
       bytes_completed_ += flows_[winner].total_bytes;
+      flows_completed_counter().add();
+      bytes_completed_counter().add(
+          std::uint64_t(std::llround(flows_[winner].total_bytes)));
       done.push_back({flows_[winner].id, t_complete});
       flows_.erase(flows_.begin() + std::ptrdiff_t(winner));
       t = t_complete;

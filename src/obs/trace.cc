@@ -1,0 +1,90 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace volut {
+
+namespace {
+
+/// Small dense thread ids (1, 2, 3, ...) in first-use order — stable within
+/// a run and far more readable in a trace viewer than OS thread ids.
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(1, std::memory_order_release);
+}
+
+void TraceCollector::stop() {
+  enabled_.store(0, std::memory_order_release);
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::int64_t TraceCollector::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceCollector::record(const char* name, std::int64_t ts_us,
+                            std::int64_t dur_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{name, ts_us, dur_us, current_tid()});
+}
+
+std::string TraceCollector::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"traceEvents\": [";
+  bool first = true;
+  char buf[256];
+  for (const Event& e : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"cat\": \"volut\", \"ph\": \"X\", "
+                  "\"ts\": %lld, \"dur\": %lld, \"pid\": 1, \"tid\": %u}",
+                  e.name, static_cast<long long>(e.ts_us),
+                  static_cast<long long>(e.dur_us), e.tid);
+    out += buf;
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool TraceCollector::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  out << to_json();
+  if (!out) {
+    std::fprintf(stderr, "TraceCollector: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace volut

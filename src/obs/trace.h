@@ -1,0 +1,137 @@
+// Scoped trace spans emitting Chrome trace-event JSON.
+//
+// TraceSpan is the structured replacement for the hand-threaded Timer copies
+// the SR pipeline used to carry: a span measures a named scope and, when the
+// global TraceCollector is recording, emits one complete ("ph":"X") event
+// with the thread id and microsecond timestamps. The resulting file loads
+// directly into Perfetto / chrome://tracing; overlapping spans on one thread
+// render as a nested flame.
+//
+// The span always wraps a Timer, so stop_ms()/elapsed_ms() keep feeding the
+// existing SrTiming/GradPuResult fields whether or not anything is
+// recording. Under VOLUT_OBS=OFF only the recording compiles out — the two
+// steady_clock reads that existed before the obs layer remain, because the
+// timing fields they populate are part of the public results.
+//
+// Collection is start()/stop() bracketed and buffered in memory; spans are
+// stage-granular (SR stages, octree cell builds), not per-point, so a plain
+// mutex-guarded append is cheap relative to the work a span brackets.
+#pragma once
+
+#ifndef VOLUT_OBS_ENABLED
+#define VOLUT_OBS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/platform/timer.h"
+
+namespace volut {
+
+class TraceCollector {
+ public:
+  /// The process-wide collector every TraceSpan reports to.
+  static TraceCollector& global();
+
+  /// Clears buffered events, re-anchors the time origin and enables
+  /// recording. Call between parallel regions, not inside one — spans
+  /// straddling a start() are dropped.
+  void start();
+  /// Disables recording; buffered events stay readable.
+  void stop();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed) != 0;
+  }
+
+  std::size_t event_count() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with "ph":"X" complete
+  /// events carrying ts/dur in microseconds and per-thread tids.
+  std::string to_json() const;
+  /// Writes to_json() to `path`; false (with a stderr note) on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Microseconds since the collection epoch (set by start()).
+  std::int64_t now_us() const;
+  /// Appends one complete event. `name` must outlive the collector — every
+  /// call site passes a string literal.
+  void record(const char* name, std::int64_t ts_us, std::int64_t dur_us);
+
+ private:
+  TraceCollector() = default;
+
+  struct Event {
+    const char* name;
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+    std::uint32_t tid;
+  };
+
+  /// Hard cap on buffered events so a runaway collection cannot exhaust
+  /// memory; events past the cap are counted but dropped.
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  std::atomic<int> enabled_{0};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII scope timer. Records into TraceCollector::global() when collection
+/// is on; always measures, so results structs keep their timing fields.
+/// stop_ms() ends the span early and returns its elapsed milliseconds —
+/// the idiom for populating an SrTiming field between pipeline stages.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name) {
+#if VOLUT_OBS_ENABLED
+    TraceCollector& collector = TraceCollector::global();
+    if (collector.enabled()) start_us_ = collector.now_us();
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { stop_ms(); }
+
+  /// Ends the span (idempotent), emitting its trace event if collection was
+  /// on when the span opened. Returns the measured milliseconds.
+  double stop_ms() {
+    if (stopped_) return last_ms_;
+    stopped_ = true;
+    last_ms_ = timer_.elapsed_ms();
+#if VOLUT_OBS_ENABLED
+    if (start_us_ >= 0) {
+      TraceCollector::global().record(
+          name_, start_us_, static_cast<std::int64_t>(last_ms_ * 1000.0));
+    }
+#else
+    (void)name_;
+#endif
+    return last_ms_;
+  }
+
+  /// Milliseconds since construction (or the final measure once stopped).
+  double elapsed_ms() const {
+    return stopped_ ? last_ms_ : timer_.elapsed_ms();
+  }
+
+ private:
+  const char* name_;
+  Timer timer_;
+  bool stopped_ = false;
+  double last_ms_ = 0.0;
+#if VOLUT_OBS_ENABLED
+  std::int64_t start_us_ = -1;
+#endif
+};
+
+}  // namespace volut

@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace volut {
+
+void EncodeCache::set_metrics_prefix(std::string_view prefix) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::string base(prefix);
+  reg_.hits = &reg.counter(base + "/hits");
+  reg_.misses = &reg.counter(base + "/misses");
+  reg_.evictions = &reg.counter(base + "/evictions");
+  reg_.insertions = &reg.counter(base + "/insertions");
+  reg_.oversized_rejects = &reg.counter(base + "/oversized_rejects");
+}
 
 std::uint32_t density_bucket(double density_ratio, std::uint32_t buckets) {
   buckets = std::max<std::uint32_t>(1, buckets);
@@ -19,30 +31,38 @@ bool EncodeCache::lookup(const EncodeCacheKey& key) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
     ++stats_.hits;
+    if (reg_.hits != nullptr) reg_.hits->add();
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
     return true;
   }
   ++stats_.misses;
+  if (reg_.misses != nullptr) reg_.misses->add();
   return false;
 }
 
-void EncodeCache::insert(const EncodeCacheKey& key, std::size_t bytes) {
-  if (index_.count(key) != 0) return;
+std::size_t EncodeCache::insert(const EncodeCacheKey& key, std::size_t bytes) {
+  if (index_.count(key) != 0) return 0;
   if (bytes > budget_bytes_) {
     ++stats_.oversized_rejects;
-    return;
+    if (reg_.oversized_rejects != nullptr) reg_.oversized_rejects->add();
+    return 0;
   }
+  std::size_t evicted = 0;
   while (bytes_cached_ + bytes > budget_bytes_ && !lru_.empty()) {
     const auto& [old_key, old_bytes] = lru_.back();
     bytes_cached_ -= old_bytes;
     index_.erase(old_key);
     lru_.pop_back();
     ++stats_.evictions;
+    ++evicted;
   }
+  if (evicted > 0 && reg_.evictions != nullptr) reg_.evictions->add(evicted);
   lru_.emplace_front(key, bytes);
   index_.emplace(key, lru_.begin());
   bytes_cached_ += bytes;
   ++stats_.insertions;
+  if (reg_.insertions != nullptr) reg_.insertions->add();
+  return evicted;
 }
 
 bool EncodeCache::fetch(const EncodeCacheKey& key, std::size_t bytes) {

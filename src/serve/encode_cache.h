@@ -14,9 +14,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace volut {
+
+class Counter;
 
 /// Identity of one encoded chunk artifact. `points_per_frame` and
 /// `content_seed` disambiguate the same logical video served at different
@@ -77,6 +81,12 @@ class EncodeCache {
   std::size_t entry_count() const { return index_.size(); }
   const EncodeCacheStats& stats() const { return stats_; }
 
+  /// Mirrors every stats_ bump into registry counters named
+  /// "<prefix>/hits", "<prefix>/misses", etc. The legacy stats() struct
+  /// stays authoritative; the registry copy feeds exposition, and
+  /// serve_fleet_test asserts the two never drift.
+  void set_metrics_prefix(std::string_view prefix);
+
   /// Serves `key` from cache if resident (counts a hit and refreshes LRU
   /// order); otherwise counts a miss, encodes-and-inserts `bytes` (evicting
   /// least-recently-used entries to fit), and returns false. Artifacts larger
@@ -95,8 +105,9 @@ class EncodeCache {
 
   /// Admits a finished encode of `bytes` bytes, evicting LRU entries to fit.
   /// Artifacts larger than the whole budget count an oversized_reject and
-  /// are dropped; keys already resident are left untouched.
-  void insert(const EncodeCacheKey& key, std::size_t bytes);
+  /// are dropped; keys already resident are left untouched. Returns how many
+  /// entries were evicted to make room (0 on reject/already-resident).
+  std::size_t insert(const EncodeCacheKey& key, std::size_t bytes);
 
   /// Residency probe without touching counters or LRU order.
   bool contains(const EncodeCacheKey& key) const {
@@ -112,6 +123,16 @@ class EncodeCache {
   std::unordered_map<EncodeCacheKey, LruList::iterator, EncodeCacheKeyHash>
       index_;
   EncodeCacheStats stats_;
+
+  /// Registry mirrors; null until set_metrics_prefix is called.
+  struct RegistryCounters {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* evictions = nullptr;
+    Counter* insertions = nullptr;
+    Counter* oversized_rejects = nullptr;
+  };
+  RegistryCounters reg_;
 };
 
 }  // namespace volut

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "src/core/rng.h"
+#include "src/obs/event_log.h"
+#include "src/obs/metrics.h"
 
 namespace volut {
 
@@ -56,6 +59,34 @@ EncodeQueue::EncodeQueue(std::size_t shards, std::size_t total_budget_bytes)
   }
 }
 
+void EncodeQueue::set_metrics_prefix(std::string_view prefix) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::string base(prefix);
+  reg_starts_ = &reg.counter(base + "/encode/starts");
+  reg_coalesced_ = &reg.counter(base + "/encode/coalesced_joins");
+  reg_completions_ = &reg.counter(base + "/encode/completions");
+  reg_peak_in_flight_ = &reg.gauge(base + "/encode/peak_in_flight");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].set_metrics_prefix(base + "/cache/shard" + std::to_string(s));
+  }
+}
+
+void EncodeQueue::finish_encode(const EncodeCacheKey& key, std::size_t bytes,
+                                double time) {
+  const std::size_t shard = shard_of(key);
+  const std::size_t evicted = shards_[shard].insert(key, bytes);
+  ++stats_.completions;
+  if (reg_completions_ != nullptr) reg_completions_->add();
+  if (event_log_ != nullptr) {
+    event_log_->record(time, FleetEventType::kEncodeComplete, kNoSession,
+                       std::int32_t(shard), double(bytes));
+    if (evicted > 0) {
+      event_log_->record(time, FleetEventType::kCacheEvict, kNoSession,
+                         std::int32_t(shard), double(evicted));
+    }
+  }
+}
+
 EncodeQueue::Decision EncodeQueue::request(const EncodeCacheKey& key,
                                            std::size_t bytes, double now,
                                            double encode_seconds) {
@@ -66,13 +97,14 @@ EncodeQueue::Decision EncodeQueue::request(const EncodeCacheKey& key,
   const auto it = in_flight_.find(key);
   if (it != in_flight_.end()) {
     ++stats_.coalesced_joins;
+    if (reg_coalesced_ != nullptr) reg_coalesced_->add();
     return {false, /*coalesced=*/true, it->second.ready_at};
   }
   ++stats_.encode_starts;
+  if (reg_starts_ != nullptr) reg_starts_->add();
   if (encode_seconds <= 0.0) {
     // Free encode: complete synchronously, exactly the pre-queue fetch path.
-    cache.insert(key, bytes);
-    ++stats_.completions;
+    finish_encode(key, bytes, now);
     return {false, false, now};
   }
   const double ready_at = now + encode_seconds;
@@ -80,6 +112,9 @@ EncodeQueue::Decision EncodeQueue::request(const EncodeCacheKey& key,
   schedule_.emplace(std::make_pair(ready_at, seq_), key);
   ++seq_;
   stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_.size());
+  if (reg_peak_in_flight_ != nullptr) {
+    reg_peak_in_flight_->set_max(double(stats_.peak_in_flight));
+  }
   return {false, false, ready_at};
 }
 
@@ -94,10 +129,9 @@ void EncodeQueue::complete_until(double time) {
     if (it == in_flight_.end()) {
       throw std::logic_error("EncodeQueue: scheduled encode has no entry");
     }
-    shards_[shard_of(key)].insert(key, it->second.bytes);
+    finish_encode(key, it->second.bytes, it->second.ready_at);
     in_flight_.erase(it);
     schedule_.erase(schedule_.begin());
-    ++stats_.completions;
   }
 }
 

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -34,6 +35,9 @@
 #include "src/serve/encode_cache.h"
 
 namespace volut {
+
+class EventLog;
+class Gauge;
 
 /// Consistent-hash ring: `shards` shards, each projected onto the ring at
 /// `vnodes_per_shard` pseudo-random points; a key hashes to the first vnode
@@ -105,6 +109,15 @@ class EncodeQueue {
   /// Hit/miss/eviction counters aggregated over every shard.
   EncodeCacheStats cache_stats() const;
 
+  /// Mirrors queue stats into "<prefix>/encode/..." registry counters and
+  /// each shard's stats into "<prefix>/cache/shard<s>/...". Legacy structs
+  /// stay authoritative; the registry copy feeds exposition.
+  void set_metrics_prefix(std::string_view prefix);
+
+  /// Emits kEncodeComplete (and kCacheEvict) fleet events as encodes land in
+  /// their shards. The log must outlive the queue; null detaches.
+  void set_event_log(EventLog* log) { event_log_ = log; }
+
  private:
   struct InFlight {
     double ready_at = 0.0;
@@ -119,6 +132,18 @@ class EncodeQueue {
   std::map<std::pair<double, std::uint64_t>, EncodeCacheKey> schedule_;
   std::uint64_t seq_ = 0;
   EncodeQueueStats stats_;
+
+  /// Inserts a completed encode into its shard, bumping registry mirrors and
+  /// emitting the completion/eviction events — shared by complete_until and
+  /// the synchronous zero-latency path.
+  void finish_encode(const EncodeCacheKey& key, std::size_t bytes,
+                     double time);
+
+  EventLog* event_log_ = nullptr;
+  Counter* reg_starts_ = nullptr;
+  Counter* reg_coalesced_ = nullptr;
+  Counter* reg_completions_ = nullptr;
+  Gauge* reg_peak_in_flight_ = nullptr;
 };
 
 }  // namespace volut

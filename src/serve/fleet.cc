@@ -40,6 +40,9 @@ struct ClientRuntime {
   double waiting_since = 0.0;
   double flow_bytes = 0.0;
   bool startup_flow = false;
+  /// Quality switches already reported to the event log, so each
+  /// complete_chunk emits at most one kQualitySwitch for its own delta.
+  std::size_t switches_seen = 0;
   ChunkPlan plan;
 };
 
@@ -128,6 +131,11 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
       n_replicas);
   EncodeQueue queue(config.shard_cache_per_replica ? n_replicas : 1,
                     config.cache_budget_bytes);
+  // Event timeline: recorded only from this (single-threaded) event loop and
+  // keyed by sim time, so it shares the run's bit-identity guarantee.
+  EventLog log(config.event_log_capacity);
+  queue.set_event_log(&log);
+  queue.set_metrics_prefix("serve");
   std::vector<ClientRuntime> clients(n_clients);
   std::vector<std::size_t> load(n_replicas, 0);
   std::deque<std::size_t> waiting_room;  // FIFO of kWaiting client indices
@@ -157,6 +165,8 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
     result.replica_of[i] = r;
     ++result.replicas[r].sessions_assigned;
     ++result.admitted;
+    log.record(when, FleetEventType::kAdmit, std::uint32_t(i),
+               std::int32_t(r));
     c.engine = std::make_unique<SessionEngine>(config.clients[i].session,
                                                config.clients[i].motion,
                                                /*session_start=*/when);
@@ -188,6 +198,8 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
       const std::size_t i = waiting_room.front();
       waiting_room.pop_front();
       result.wait_seconds[i] = now - clients[i].waiting_since;
+      log.record(now, FleetEventType::kWaitPromote, std::uint32_t(i),
+                 std::int32_t(r), result.wait_seconds[i]);
       admit_client(i, r, now);
     }
   };
@@ -224,6 +236,8 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
         const std::size_t i = owner->second;
         flow_owner[r].erase(owner);
         ClientRuntime& c = clients[i];
+        log.record(done.time, FleetEventType::kDownloadFinish,
+                   std::uint32_t(i), std::int32_t(r), c.flow_bytes);
         if (c.startup_flow) {
           c.startup_flow = false;
           c.state = ClientState::kIdle;
@@ -232,7 +246,26 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
         }
         const double next_request =
             c.engine->complete_chunk(c.plan, c.issued_at, done.time);
+        // Timeline milestones derived from the chunk the engine just
+        // settled: rebuffer interval, quality switch, session end.
+        if (const ChunkRecord* rec = c.engine->last_chunk()) {
+          if (rec->stall_seconds > 0.0) {
+            log.record(done.time, FleetEventType::kRebufferStart,
+                       std::uint32_t(i), std::int32_t(r),
+                       rec->stall_seconds);
+            log.record(done.time + rec->stall_seconds,
+                       FleetEventType::kRebufferEnd, std::uint32_t(i),
+                       std::int32_t(r));
+          }
+          if (c.engine->quality_switches() > c.switches_seen) {
+            c.switches_seen = c.engine->quality_switches();
+            log.record(done.time, FleetEventType::kQualitySwitch,
+                       std::uint32_t(i), std::int32_t(r), rec->quality);
+          }
+        }
         if (c.engine->done()) {
+          log.record(done.time, FleetEventType::kSessionDone,
+                     std::uint32_t(i), std::int32_t(r));
           c.state = ClientState::kDone;
           --load[c.replica];
           --remaining;
@@ -256,6 +289,8 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
       const std::uint64_t id = links[c.replica].start_flow(
           c.flow_bytes, downlink.empty() ? nullptr : &downlink);
       flow_owner[c.replica][id] = i;
+      log.record(now, FleetEventType::kDownloadStart, std::uint32_t(i),
+                 std::int32_t(c.replica), c.flow_bytes);
       c.state = ClientState::kDownloading;
       ReplicaStats& stats = result.replicas[c.replica];
       stats.peak_concurrent_flows = std::max(stats.peak_concurrent_flows,
@@ -282,10 +317,12 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
                          ? now + config.max_wait_seconds
                          : kInf;
           waiting_room.push_back(i);
+          log.record(now, FleetEventType::kWaitEnqueue, std::uint32_t(i));
           result.queue_depth_peak =
               std::max(result.queue_depth_peak, waiting_room.size());
         } else {
           c.state = ClientState::kRejected;
+          log.record(now, FleetEventType::kReject, std::uint32_t(i));
           ++result.rejected;
           --remaining;
         }
@@ -305,6 +342,8 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
       if (c.state != ClientState::kWaiting || c.t_next > now) continue;
       c.state = ClientState::kRejected;
       result.wait_seconds[i] = now - c.waiting_since;
+      log.record(now, FleetEventType::kWaitTimeout, std::uint32_t(i),
+                 /*replica=*/-1, result.wait_seconds[i]);
       ++result.rejected;
       ++result.timed_out;
       --remaining;
@@ -323,18 +362,36 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
       const SessionConfig& session = c.engine->config();
       const double encode_seconds =
           config.encode_seconds_full * c.plan.density_ratio;
+      const auto ci = std::uint32_t(i);
+      const auto cr = std::int32_t(c.replica);
+      log.record(now, FleetEventType::kChunkRequest, ci, cr,
+                 double(c.plan.index));
       // ViVo encodes are culled to the requesting viewer's predicted
       // viewport, so they are per-client artifacts: always encoded fresh,
       // never cached (and never poisoning the shared key space).
       double ready_at = now + encode_seconds;
       if (session.kind != SystemKind::kVivo) {
-        ready_at = queue
-                       .request(cache_key(session.video, c.plan.index,
-                                          c.plan.density_ratio,
-                                          config.density_buckets),
-                               static_cast<std::size_t>(c.plan.bytes), now,
-                               encode_seconds)
-                       .ready_at;
+        const EncodeQueue::Decision decision = queue.request(
+            cache_key(session.video, c.plan.index, c.plan.density_ratio,
+                      config.density_buckets),
+            static_cast<std::size_t>(c.plan.bytes), now, encode_seconds);
+        ready_at = decision.ready_at;
+        log.record(now,
+                   decision.hit ? FleetEventType::kCacheHit
+                                : FleetEventType::kCacheMiss,
+                   ci, cr);
+        if (decision.coalesced) {
+          log.record(now, FleetEventType::kEncodeCoalesce, ci, cr,
+                     decision.ready_at);
+        } else if (!decision.hit) {
+          log.record(now, FleetEventType::kEncodeStart, ci, cr,
+                     encode_seconds);
+        }
+      } else {
+        // Per-viewer artifact: by construction a miss with a fresh encode.
+        log.record(now, FleetEventType::kCacheMiss, ci, cr);
+        log.record(now, FleetEventType::kEncodeStart, ci, cr,
+                   encode_seconds);
       }
       if (config.measure_sr_stride != 0 &&
           c.plan.index % config.measure_sr_stride == 0 &&
@@ -392,6 +449,10 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
     stats.bits_drained = links[r].bits_drained();
     stats.uplink_trace_wraps = links[r].trace().wrap_count(now);
   }
+
+  queue.set_event_log(nullptr);  // log is about to move into the result
+  result.timeline_events = log.recorded();
+  result.events = std::move(log);
 
   measure_sr_samples(sr_work, config.sr_lut, result.sr_samples, pool);
   return result;

@@ -36,6 +36,7 @@
 #include "src/data/motion_trace.h"
 #include "src/metrics/stats.h"
 #include "src/net/shared_link.h"
+#include "src/obs/event_log.h"
 #include "src/net/trace.h"
 #include "src/platform/thread_pool.h"
 #include "src/serve/encode_cache.h"
@@ -93,6 +94,9 @@ struct FleetConfig {
   /// dilated interpolation only — pass a trained LUT (e.g. bench
   /// train_assets) to measure full VoLUT SR.
   std::shared_ptr<const RefinementLut> sr_lut;
+  /// Ring capacity of FleetResult::events (retained events; per-type totals
+  /// always cover the whole run). 0 disables event retention.
+  std::size_t event_log_capacity = std::size_t(1) << 16;
 };
 
 /// One measured SR data point. Everything except `sr_ms` (wall-clock) is
@@ -165,6 +169,13 @@ struct FleetResult {
   EncodeQueueStats encode_queue;
   std::vector<ReplicaStats> replicas;
   std::vector<FleetSrSample> sr_samples;
+
+  /// Sim-time event timeline (admissions, encode lifecycle, downloads,
+  /// rebuffers, ...) keyed by simulator time — bit-identical across worker
+  /// counts; EventLog::session_json exports one client's timeline.
+  EventLog events;
+  /// Events recorded over the whole run (== events.recorded()).
+  std::uint64_t timeline_events = 0;
 };
 
 /// Runs the fleet to completion. `pool` (optional) parallelizes the

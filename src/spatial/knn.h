@@ -16,6 +16,10 @@
 // the heap when a frame needs more capacity than any frame before it.
 #pragma once
 
+#ifndef VOLUT_OBS_ENABLED
+#define VOLUT_OBS_ENABLED 1
+#endif
+
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
@@ -136,11 +140,25 @@ class NeighborHeap {
     } else {
       return;
     }
+#if VOLUT_OBS_ENABLED
+    ++pushes_;
+#endif
     while (pos > 0 && cand < storage_[pos - 1]) {
       storage_[pos] = storage_[pos - 1];
       --pos;
     }
     storage_[pos] = cand;
+  }
+
+  /// Accepted insertions since construction (rejected candidates excluded);
+  /// always 0 under VOLUT_OBS=OFF. Searches flush the delta into the
+  /// "spatial/heap_pushes" counter.
+  std::uint64_t pushes() const {
+#if VOLUT_OBS_ENABLED
+    return pushes_;
+#else
+    return 0;
+#endif
   }
 
   /// Returns how many neighbors were collected; the storage prefix holds
@@ -151,6 +169,9 @@ class NeighborHeap {
  private:
   std::span<Neighbor> storage_;
   std::size_t size_ = 0;
+#if VOLUT_OBS_ENABLED
+  std::uint64_t pushes_ = 0;
+#endif
 };
 
 /// Implements Eq. 2 without allocating: merges two candidate neighbor lists,

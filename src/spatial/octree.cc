@@ -4,15 +4,32 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace volut {
 
 namespace {
 constexpr std::uint32_t kNoExclude =
     std::numeric_limits<std::uint32_t>::max();
+
+/// Queries answered entirely by the own-cell fast path vs. ones that spilled
+/// into the multi-cell search — the ratio the two-layer design bets on.
+Counter& octree_query_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("spatial/octree_cell_queries");
+  return c;
 }
+Counter& octree_spill_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("spatial/octree_spills");
+  return c;
+}
+}  // namespace
 
 void TwoLayerOctree::build(std::span<const Vec3f> positions,
                            ThreadPool* pool) {
+  TraceSpan build_span("octree/build");
   // Rebuild in place: every container below is cleared/resized rather than
   // replaced, so a TwoLayerOctree held in a scratch struct and rebuilt each
   // frame reaches an allocation-free steady state (empty cells rebuild their
@@ -37,6 +54,7 @@ void TwoLayerOctree::build(std::span<const Vec3f> positions,
   // Counting sort of points into contiguous per-cell ranges (the "leaf
   // nodes store a subset of the points" layout): one flat array, each cell
   // owning [begin, end).
+  TraceSpan sort_span("octree/counting_sort");
   std::vector<int>& cell_id = cell_id_scratch_;
   cell_id.resize(positions.size());
   std::array<std::uint32_t, kNumCells> counts{};
@@ -63,7 +81,9 @@ void TwoLayerOctree::build(std::span<const Vec3f> positions,
     flat_to_global_[cursor[c]] = static_cast<std::uint32_t>(i);
     ++cursor[c];
   }
+  sort_span.stop_ms();
   auto build_cells = [&](std::size_t begin, std::size_t end) {
+    TraceSpan cells_span("octree/build_cells");
     for (std::size_t c = begin; c < end; ++c) {
       Cell& cell = cells_[c];
       // Cell trees report global indices directly (the report_indices
@@ -111,6 +131,7 @@ void TwoLayerOctree::knn_into(const Vec3f& query, NeighborHeap& heap,
   // other cell can contain a better neighbor and we are done.
   const int own = cell_of(query);
   const Cell& own_cell = cells_[static_cast<std::size_t>(own)];
+  octree_query_counter().add();
   own_cell.tree.knn_into(query, heap, /*index_offset=*/0, exclude_global);
   if (heap.full()) {
     const int cx = own / (kCellsPerAxis * kCellsPerAxis);
@@ -133,6 +154,7 @@ void TwoLayerOctree::knn_into(const Vec3f& query, NeighborHeap& heap,
   // cell box; search in that order (sharing the heap so the worst-distance
   // bound prunes across cells) and stop once the next cell cannot beat the
   // current worst neighbor.
+  octree_spill_counter().add();
   struct CellDist {
     float d2;
     int cell;

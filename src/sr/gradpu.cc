@@ -1,6 +1,6 @@
 #include "src/sr/gradpu.h"
 
-#include "src/platform/timer.h"
+#include "src/obs/trace.h"
 #include "src/spatial/kdtree.h"
 #include "src/sr/position_encoding.h"
 
@@ -19,16 +19,16 @@ GradPuResult gradpu_upsample(const PointCloud& input, double ratio,
   icfg.use_octree = false;
   icfg.reuse_neighbors = false;
   icfg.seed = config.seed;
-  Timer timer;
+  TraceSpan interp_span("gradpu/interpolate");
   InterpolationResult ir = interpolate(input, ratio, icfg);
-  result.interpolate_ms = timer.elapsed_ms();
+  result.interpolate_ms = interp_span.stop_ms();
 
   // Stage 2: iterative neural refinement. Every iteration re-queries
   // neighborhoods (positions moved) and runs one NN inference per point and
   // axis — the computational burden that motivates the LUT. The per-point
   // tree queries batch into one flat NeighborBuffer reused across
   // iterations, so only the first iteration sizes the arena.
-  timer.reset();
+  TraceSpan refine_span("gradpu/refine");
   const std::size_t new_begin = ir.original_count;
   const std::size_t new_count = ir.new_count();
   KdTree source_tree(input.positions());
@@ -63,7 +63,7 @@ GradPuResult gradpu_upsample(const PointCloud& input, double ratio,
       }
     }
   }
-  result.refine_ms = timer.elapsed_ms();
+  result.refine_ms = refine_span.stop_ms();
   result.cloud = std::move(ir.cloud);
   return result;
 }

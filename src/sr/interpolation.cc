@@ -5,7 +5,7 @@
 #include <numeric>
 
 #include "src/core/rng.h"
-#include "src/platform/timer.h"
+#include "src/obs/trace.h"
 
 namespace volut {
 
@@ -57,7 +57,7 @@ void interpolate_into(const PointCloud& input, double ratio,
       n - 1, k * std::size_t(std::max(1, config.dilation)));
 
   // --- Stage 1: neighbor search over the source cloud -----------------------
-  Timer timer;
+  TraceSpan knn_span("sr/knn");
   bool kdtree_built = false;
   if (config.use_octree) {
     // Approximate own-cell search (see TwoLayerOctree::batch_knn): the
@@ -74,10 +74,10 @@ void interpolate_into(const PointCloud& input, double ratio,
     batch_knn_kdtree(s.kdtree, input.positions(), dk, s.dilated, pool,
                      /*exclude_self=*/true);
   }
-  result.timing.knn_ms = timer.elapsed_ms();
+  result.timing.knn_ms = knn_span.stop_ms();
 
   // --- Stage 2: midpoint generation from dilated neighborhoods --------------
-  timer.reset();
+  TraceSpan interp_span("sr/interpolate");
   const std::size_t target_new =
       static_cast<std::size_t>(std::llround(double(n) * (ratio - 1.0)));
   const std::size_t chunks = (n + kStage2Chunk - 1) / kStage2Chunk;
@@ -162,10 +162,10 @@ void interpolate_into(const PointCloud& input, double ratio,
           }
         });
   }
-  result.timing.interpolate_ms = timer.elapsed_ms();
+  result.timing.interpolate_ms = interp_span.stop_ms();
 
   // --- Stage 3: neighbor lists for new points + colorization ----------------
-  timer.reset();
+  TraceSpan colorize_span("sr/colorize");
   result.new_neighbors.resize(produced, k);
   const std::size_t new_begin = result.original_count;
 
@@ -215,7 +215,7 @@ void interpolate_into(const PointCloud& input, double ratio,
     }
   };
   run_parallel(pool, produced, process_range, /*min_grain=*/512);
-  result.timing.colorize_ms = timer.elapsed_ms();
+  result.timing.colorize_ms = colorize_span.stop_ms();
 }
 
 InterpolationResult interpolate(const PointCloud& input, double ratio,

@@ -3,7 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "src/platform/timer.h"
+#include "src/obs/trace.h"
 #include "src/sr/position_encoding.h"
 
 namespace volut {
@@ -41,6 +41,7 @@ SrResult SrPipeline::upsample(const PointCloud& input, double ratio,
   SrResult result;
   result.input_points = input.size();
 
+  TraceSpan upsample_span("sr/upsample");
   std::unique_ptr<ScratchSlot> slot = acquire_slot();
   InterpolationResult& ir = slot->ir;
   interpolate_into(input, ratio, interp_, ir, pool_, &slot->scratch);
@@ -49,7 +50,7 @@ SrResult SrPipeline::upsample(const PointCloud& input, double ratio,
   result.timing.colorize_ms = ir.timing.colorize_ms;
 
   if (refine && !lut_->empty()) {
-    Timer timer;
+    TraceSpan refine_span("sr/refine");
     const std::size_t n = lut_->spec().receptive_field;
     const int bins = lut_->spec().bins;
     const std::size_t new_begin = ir.original_count;
@@ -62,7 +63,7 @@ SrResult SrPipeline::upsample(const PointCloud& input, double ratio,
       }
     };
     run_parallel(pool_, ir.new_count(), refine_range, /*min_grain=*/1024);
-    result.timing.refine_ms = timer.elapsed_ms();
+    result.timing.refine_ms = refine_span.stop_ms();
   }
 
   result.output_points = ir.cloud.size();

@@ -161,6 +161,15 @@ class SessionEngine {
   /// Finalizes means and data-usage fractions over the completed chunks.
   SessionResult finish() const;
 
+  /// Most recently completed chunk; null before the first completion. Lets
+  /// the fleet timeline read stall/quality outcomes right after
+  /// complete_chunk without waiting for finish().
+  const ChunkRecord* last_chunk() const {
+    return result_.chunks.empty() ? nullptr : &result_.chunks.back();
+  }
+  /// Quality switches accumulated so far (finish() reports the same total).
+  std::size_t quality_switches() const { return result_.quality_switches; }
+
  private:
   SessionConfig config_;
   const MotionTrace* motion_;

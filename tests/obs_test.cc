@@ -1,0 +1,320 @@
+// Unit tests for the observability layer (src/obs/): metrics registry
+// exactness under pool hammering, histogram edge pinning, trace JSON shape,
+// and fleet EventLog semantics including bit-identity across worker counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/obs/event_log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/platform/thread_pool.h"
+#include "src/serve/fleet.h"
+
+namespace volut {
+namespace {
+
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MetricsRegistryTest, CounterExactUnderPoolHammering) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& counter = reg.counter("obs_test/hammer");
+  counter.reset();
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 200'000;
+  pool.parallel_for(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) counter.add();
+      },
+      /*min_grain=*/64);
+#if VOLUT_OBS_ENABLED
+  EXPECT_EQ(counter.value(), kN);
+#else
+  EXPECT_EQ(counter.value(), 0u);
+#endif
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossReset) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& before = reg.counter("obs_test/stable");
+  before.add(3);
+  reg.reset();
+  Counter& after = reg.counter("obs_test/stable");
+  EXPECT_EQ(&before, &after);
+  EXPECT_EQ(after.value(), 0u);  // reset zeroes but keeps the registration
+  after.add(2);
+#if VOLUT_OBS_ENABLED
+  EXPECT_EQ(reg.counter_value("obs_test/stable"), 2u);
+#endif
+}
+
+TEST(MetricsRegistryTest, GaugeSetMaxRatchetsAndIgnoresNaN) {
+  Gauge gauge;
+  gauge.set_max(3.0);
+  gauge.set_max(1.0);  // lower: ignored
+  gauge.set_max(kNaN);
+#if VOLUT_OBS_ENABLED
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.set_max(7.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.5);
+#else
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+#endif
+}
+
+TEST(HistogramTest, BucketEdgesPinnedLikeDensityBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.bucket_count(), 4u);
+  // Bounds are inclusive upper edges.
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.0000001), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(4.1), 3u);  // overflow bucket
+  // Non-finite pinning, mirroring serve's density_bucket discipline.
+  EXPECT_EQ(h.bucket_index(kNaN), 0u);
+  EXPECT_EQ(h.bucket_index(-kInfD), 0u);
+  EXPECT_EQ(h.bucket_index(kInfD), 3u);
+}
+
+TEST(HistogramTest, ObserveCountsIntoBuckets) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::vector<double> bounds = {10.0, 100.0};
+  Histogram& h = reg.histogram("obs_test/hist", bounds);
+  h.reset();
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+  h.observe(kNaN);
+#if VOLUT_OBS_ENABLED
+  EXPECT_EQ(h.bucket_value(0), 2u);  // 5.0 and the pinned NaN
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(2), 1u);
+  EXPECT_EQ(h.total(), 4u);
+#else
+  EXPECT_EQ(h.total(), 0u);
+#endif
+  // First registration wins the bucket layout.
+  const std::vector<double> other = {1.0};
+  EXPECT_EQ(&reg.histogram("obs_test/hist", other), &h);
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, CountersWithPrefixSortedAndFiltered) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("obs_test/prefix/b").add(2);
+  reg.counter("obs_test/prefix/a").add(1);
+  reg.counter("obs_test/other").add(9);
+  const auto rows = reg.counters_with_prefix("obs_test/prefix/");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "obs_test/prefix/a");
+  EXPECT_EQ(rows[1].first, "obs_test/prefix/b");
+#if VOLUT_OBS_ENABLED
+  EXPECT_EQ(rows[0].second, 1u);
+  EXPECT_EQ(rows[1].second, 2u);
+#endif
+}
+
+TEST(MetricsRegistryTest, ExpositionShapes) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("obs_test/json").add(1);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema\": \"volut-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/json\""), std::string::npos);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE volut_obs_test_json counter"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpansRecordChromeTraceEvents) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.start();
+  {
+    TraceSpan outer("obs_test/outer");
+    {
+      TraceSpan inner("obs_test/inner");
+    }
+    ThreadPool pool(4);
+    pool.parallel_for(
+        8, [](std::size_t, std::size_t) { TraceSpan span("obs_test/pool"); },
+        /*min_grain=*/1);
+  }
+  collector.stop();
+#if VOLUT_OBS_ENABLED
+  EXPECT_GE(collector.event_count(), 3u);
+#else
+  EXPECT_EQ(collector.event_count(), 0u);
+#endif
+  const std::string json = collector.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+#if VOLUT_OBS_ENABLED
+  EXPECT_NE(json.find("\"obs_test/inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+#endif
+}
+
+TEST(TraceTest, SpanMeasuresWithoutCollection) {
+  TraceCollector::global().stop();
+  TraceSpan span("obs_test/uncollected");
+  const double first = span.stop_ms();
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(span.stop_ms(), first);  // idempotent
+  EXPECT_DOUBLE_EQ(span.elapsed_ms(), first);
+}
+
+TEST(TraceTest, StartClearsPreviousCollection) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.start();
+  { TraceSpan span("obs_test/first"); }
+  collector.start();  // re-arm: previous events dropped
+  collector.stop();
+  EXPECT_EQ(collector.event_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// EventLog
+// ---------------------------------------------------------------------------
+
+TEST(EventLogTest, RecordsInOrderWithTypeCounts) {
+  EventLog log(/*capacity=*/8);
+  log.record(0.5, FleetEventType::kAdmit, 0, 1);
+  log.record(1.0, FleetEventType::kCacheMiss, 0, 1);
+  log.record(1.0, FleetEventType::kEncodeStart, 0, 1, 0.040);
+  EXPECT_EQ(log.recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+  const std::vector<FleetEvent> events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, FleetEventType::kAdmit);
+  EXPECT_DOUBLE_EQ(events[2].value, 0.040);
+  EXPECT_EQ(log.type_count(FleetEventType::kAdmit), 1u);
+  EXPECT_EQ(log.type_count(FleetEventType::kCacheMiss), 1u);
+  EXPECT_EQ(log.type_count(FleetEventType::kReject), 0u);
+}
+
+TEST(EventLogTest, RingDropsOldestButKeepsTotals) {
+  EventLog log(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.record(double(i), FleetEventType::kChunkRequest, 7, 0, double(i));
+  }
+  EXPECT_EQ(log.recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const std::vector<FleetEvent> events = log.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: 6, 7, 8, 9.
+  EXPECT_DOUBLE_EQ(events.front().time, 6.0);
+  EXPECT_DOUBLE_EQ(events.back().time, 9.0);
+  // Per-type totals still cover every recorded event.
+  EXPECT_EQ(log.type_count(FleetEventType::kChunkRequest), 10u);
+}
+
+TEST(EventLogTest, ZeroCapacityCountsWithoutRetention) {
+  EventLog log(/*capacity=*/0);
+  log.record(1.0, FleetEventType::kAdmit, 0);
+  EXPECT_EQ(log.recorded(), 1u);
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.type_count(FleetEventType::kAdmit), 1u);
+}
+
+TEST(EventLogTest, SessionJsonFiltersAndNamesAreStable) {
+  EventLog log(/*capacity=*/16);
+  log.record(0.0, FleetEventType::kAdmit, 1, 0);
+  log.record(0.5, FleetEventType::kAdmit, 2, 1);
+  log.record(1.0, FleetEventType::kRebufferStart, 1, 0, 0.25);
+  const std::string all = log.to_json();
+  EXPECT_NE(all.find("\"schema\": \"volut-fleet-events-v1\""),
+            std::string::npos);
+  EXPECT_NE(all.find("\"rebuffer_start\""), std::string::npos);
+  const std::string s1 = log.session_json(1);
+  EXPECT_NE(s1.find("\"rebuffer_start\""), std::string::npos);
+  EXPECT_EQ(s1.find("\"session\": 2"), std::string::npos);
+  const std::string s9 = log.session_json(9);
+  EXPECT_EQ(s9.find("\"admit\""), std::string::npos);
+}
+
+TEST(EventLogTest, EqualityComparesCountsAndRetainedEvents) {
+  EventLog a(4), b(4);
+  a.record(1.0, FleetEventType::kAdmit, 0);
+  b.record(1.0, FleetEventType::kAdmit, 0);
+  EXPECT_TRUE(a == b);
+  b.record(2.0, FleetEventType::kReject, 1);
+  EXPECT_FALSE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet timeline determinism
+// ---------------------------------------------------------------------------
+
+FleetConfig small_fleet() {
+  FleetConfig fleet;
+  fleet.clients = make_mixed_fleet(/*n=*/12, /*arrival_spacing=*/0.25,
+                                   /*max_chunks=*/6, /*video_scale=*/0.01);
+  fleet.replica_uplinks = {BandwidthTrace::lte(120.0, 25.0, 600.0, 31),
+                           BandwidthTrace::lte(120.0, 25.0, 600.0, 32)};
+  fleet.rtt_seconds = 0.020;
+  fleet.max_sessions_per_replica = 3;
+  fleet.max_wait_seconds = std::numeric_limits<double>::infinity();
+  fleet.cache_budget_bytes = 8u << 20;
+  fleet.shard_cache_per_replica = true;
+  fleet.encode_seconds_full = 0.040;
+  return fleet;
+}
+
+TEST(EventLogTest, FleetTimelineBitIdenticalAcrossWorkerCounts) {
+  const FleetConfig fleet = small_fleet();
+  MetricsRegistry& reg = MetricsRegistry::global();
+
+  reg.reset();
+  ThreadPool pool1(1);
+  const FleetResult reference = run_fleet(fleet, &pool1);
+  const auto ref_counters = reg.counters_with_prefix("serve/");
+  ASSERT_GT(reference.timeline_events, 0u);
+  EXPECT_EQ(reference.timeline_events, reference.events.recorded());
+  EXPECT_GT(reference.events.type_count(FleetEventType::kAdmit), 0u);
+  EXPECT_GT(reference.events.type_count(FleetEventType::kDownloadFinish), 0u);
+
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    reg.reset();
+    ThreadPool pool(workers);
+    const FleetResult run = run_fleet(fleet, &pool);
+    EXPECT_TRUE(run.events == reference.events)
+        << "timeline diverged @ " << workers << " workers";
+    EXPECT_EQ(run.timeline_events, reference.timeline_events);
+    EXPECT_EQ(reg.counters_with_prefix("serve/"), ref_counters)
+        << "registry counters diverged @ " << workers << " workers";
+  }
+}
+
+TEST(EventLogTest, FleetTimelineMatchesRollups) {
+  const FleetConfig fleet = small_fleet();
+  const FleetResult result = run_fleet(fleet);
+  const EventLog& events = result.events;
+  EXPECT_EQ(events.type_count(FleetEventType::kAdmit), result.admitted);
+  EXPECT_EQ(events.type_count(FleetEventType::kReject) +
+                events.type_count(FleetEventType::kWaitTimeout),
+            result.rejected);
+  EXPECT_EQ(events.type_count(FleetEventType::kCacheHit), result.cache.hits);
+  EXPECT_EQ(events.type_count(FleetEventType::kCacheMiss),
+            result.cache.misses);
+  EXPECT_EQ(events.type_count(FleetEventType::kEncodeComplete),
+            result.encode_queue.completions);
+  EXPECT_EQ(events.type_count(FleetEventType::kSessionDone),
+            result.admitted);
+  // Every download that started also finished (the run completed).
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(events.type_count(FleetEventType::kDownloadStart),
+            events.type_count(FleetEventType::kDownloadFinish));
+}
+
+}  // namespace
+}  // namespace volut

@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/serve/fleet.h"
 
 namespace volut {
@@ -141,8 +142,52 @@ TEST(FleetSweepTest, BitIdenticalAcrossPoolWorkerCounts) {
                        reference.sr_samples[i].chamfer)
           << "sample " << i << " @ " << workers << " workers";
     }
+    // The sim-time event timeline (per-type totals AND retained events) is
+    // part of the bit-identity contract: the timeline is single-threaded,
+    // so worker count must not change a single record.
+    EXPECT_EQ(run.timeline_events, reference.timeline_events);
+    EXPECT_TRUE(run.events == reference.events)
+        << "event timeline diverged @ " << workers << " workers";
   }
 }
+
+#if VOLUT_OBS_ENABLED
+TEST(FleetSweepTest, RegistryCountersAgreeWithLegacyAccessors) {
+  // The registry mirrors (serve/encode/*, serve/cache/shard*/*) are bumped
+  // alongside the legacy stats structs; a run must leave both views equal,
+  // or a future refactor silently forked the two bookkeeping paths.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  const FleetConfig fleet = sweep_config();
+  const FleetResult result = run_fleet(fleet);
+
+  EXPECT_EQ(reg.counter_value("serve/encode/starts"),
+            result.encode_queue.encode_starts);
+  EXPECT_EQ(reg.counter_value("serve/encode/coalesced_joins"),
+            result.encode_queue.coalesced_joins);
+  EXPECT_EQ(reg.counter_value("serve/encode/completions"),
+            result.encode_queue.completions);
+  ASSERT_EQ(result.cache_shards.size(), 2u);
+  for (std::size_t s = 0; s < result.cache_shards.size(); ++s) {
+    const std::string prefix =
+        "serve/cache/shard" + std::to_string(s) + "/";
+    EXPECT_EQ(reg.counter_value(prefix + "hits"),
+              result.cache_shards[s].hits)
+        << prefix;
+    EXPECT_EQ(reg.counter_value(prefix + "misses"),
+              result.cache_shards[s].misses)
+        << prefix;
+    EXPECT_EQ(reg.counter_value(prefix + "evictions"),
+              result.cache_shards[s].evictions)
+        << prefix;
+  }
+  // The timeline saw the same encode lifecycle the registry counted.
+  EXPECT_EQ(result.events.type_count(FleetEventType::kEncodeStart),
+            result.encode_queue.encode_starts);
+  EXPECT_EQ(result.events.type_count(FleetEventType::kEncodeComplete),
+            result.encode_queue.completions);
+}
+#endif  // VOLUT_OBS_ENABLED
 
 }  // namespace
 }  // namespace volut

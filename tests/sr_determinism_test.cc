@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "src/core/rng.h"
+#include "src/obs/trace.h"
 #include "src/platform/thread_pool.h"
 #include "src/spatial/knn_simd.h"
 #include "src/sr/interpolation.h"
@@ -67,10 +70,34 @@ TEST_P(InterpolateThreadDeterminismTest, BitIdenticalAcrossWorkerCounts) {
   cfg.use_octree = param.octree;
   cfg.reuse_neighbors = param.reuse;
   const std::uint64_t serial = fingerprint(interpolate(pc, 2.7, cfg));
+  // Watch-list instrumentation: this case (octree_fresh in particular) has
+  // flaked before, and a bare EXPECT_EQ of two hashes is undebuggable from
+  // a CI log. Each pooled run is traced; on mismatch the per-worker
+  // fingerprints and the mismatching run's spans (octree build, counting
+  // sort, kNN stages) go to stderr so the schedule that diverged is visible.
+  std::vector<std::pair<std::size_t, std::uint64_t>> seen{{0u, serial}};
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    TraceCollector& collector = TraceCollector::global();
+    collector.start();
     ThreadPool pool(workers);
     const std::uint64_t fp = fingerprint(interpolate(pc, 2.7, cfg, &pool));
+    collector.stop();
+    seen.emplace_back(workers, fp);
     EXPECT_EQ(fp, serial) << workers << " workers";
+    if (fp != serial) {
+      std::fprintf(stderr,
+                   "=== determinism mismatch: %s_%s @ %zu workers ===\n",
+                   param.octree ? "octree" : "kdtree",
+                   param.reuse ? "reuse" : "fresh", workers);
+      for (const auto& [w, hash] : seen) {
+        std::fprintf(stderr, "  fingerprint[%zu workers]: %016llx%s\n", w,
+                     (unsigned long long)hash,
+                     hash == serial ? "" : "  <-- diverged");
+      }
+      std::fprintf(stderr,
+                   "--- trace spans of the mismatching run ---\n%s\n",
+                   collector.to_json().c_str());
+    }
   }
 }
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare bench JSON output against the committed baseline (BENCH_7.json).
+
+Usage:
+    tools/bench_compare.py [--baseline BENCH_7.json] [--threshold 0.10]
+                           current1.json [current2.json ...]
+
+The baseline is a volut-bench-baseline-v1 file: {"schema": ...,
+"sources": [<volut-bench-v1 object>, ...]} — one source per bench binary,
+captured by running each with --json on the reference machine.
+
+Only a small allowlist of kernel metrics is gated (see TRACKED): wall-clock
+numbers jitter across hosts and CI runners, so gating every record would make
+the check pure noise. A tracked metric regresses when it moves more than
+--threshold (default 10%) in its bad direction (slower for time-like units,
+lower for throughput-like ones). Exit status: 0 = no tracked regression,
+1 = at least one regression, 2 = usage/input error.
+
+Missing tracked metrics are reported but are not failures: benches may be
+run with narrower --benchmark_filter settings than the baseline capture.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# (regex over record names, direction) — direction "lower" means smaller is
+# better (latencies), "higher" means bigger is better (rates, fps).
+# The three tracked kernel families of the acceptance bar: batch kNN,
+# interpolate, and fleet timeline throughput.
+TRACKED = [
+    (r"^BM_BatchKnnSimd.*/real_time$", "lower"),
+    (r"^BM_InterpolateThreads.*/real_time$", "lower"),
+    (r"^fleet/events_per_sec$", "higher"),
+]
+
+
+def load_records(path):
+    """Returns {name: (value, unit)} for one volut-bench-v1 JSON object."""
+    with open(path) as f:
+        doc = json.load(f)
+    return records_of(doc, path)
+
+
+def records_of(doc, origin):
+    if doc.get("schema") != "volut-bench-v1":
+        raise ValueError(f"{origin}: not a volut-bench-v1 document")
+    out = {}
+    for rec in doc.get("results", []):
+        out[rec["name"]] = (float(rec["value"]), rec.get("unit", ""))
+    return out
+
+
+def load_baseline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "volut-bench-baseline-v1":
+        raise ValueError(f"{path}: not a volut-bench-baseline-v1 document")
+    merged = {}
+    for i, source in enumerate(doc.get("sources", [])):
+        merged.update(records_of(source, f"{path}#sources[{i}]"))
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_7.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional regression tolerance (default 0.10)")
+    parser.add_argument("current", nargs="+",
+                        help="volut-bench-v1 JSON files from this run")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_baseline(args.baseline)
+        current = {}
+        for path in args.current:
+            current.update(load_records(path))
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    checked = 0
+    for pattern, direction in TRACKED:
+        rx = re.compile(pattern)
+        matched = False
+        for name, (base_value, unit) in sorted(baseline.items()):
+            if not rx.match(name):
+                continue
+            matched = True
+            if name not in current:
+                print(f"  MISSING  {name} (not in this run; skipped)")
+                continue
+            cur_value, _ = current[name]
+            checked += 1
+            if base_value == 0:
+                continue
+            change = (cur_value - base_value) / base_value
+            bad = change > args.threshold if direction == "lower" \
+                else change < -args.threshold
+            tag = "REGRESSED" if bad else "ok"
+            print(f"  {tag:9s} {name}: {base_value:.4g} -> {cur_value:.4g} "
+                  f"{unit} ({change:+.1%}, {direction} is better)")
+            if bad:
+                regressions.append(name)
+        if not matched:
+            print(f"  MISSING  no baseline records match {pattern}")
+
+    print(f"\nbench_compare: {checked} tracked metrics checked, "
+          f"{len(regressions)} regressed (threshold {args.threshold:.0%})")
+    if regressions:
+        for name in regressions:
+            print(f"  regression: {name}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
