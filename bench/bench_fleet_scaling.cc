@@ -6,7 +6,9 @@
 //   3. encode-cache size sweep (hit rate vs eviction churn),
 //   4. admission sweep under a tight session cap: reject-at-cap
 //      (max_wait = 0) vs waiting rooms of growing patience,
-//   5. ThreadPool scaling of the measured-SR fan-out with a bit-identity
+//   5. fault sweep: stochastic crash rate x uplink-blackout duty cycle
+//      (QoE tails, stall rate, failover count/latency, session failures),
+//   6. ThreadPool scaling of the measured-SR fan-out with a bit-identity
 //      check across 1/2/4/8 workers (same discipline as bench_micro_kernels).
 // Every run reports QoE p50/p95/p99, stall rate, cache hit rate, bytes
 // served, waiting-room p50/p95 wait and peak queue depth (the latter three
@@ -215,6 +217,53 @@ int main(int argc, char** argv) {
       json.add(prefix + "/admitted", double(r.admitted), "count");
       json.add(prefix + "/rejected", double(r.rejected), "count");
       json.add(prefix + "/timed_out", double(r.timed_out), "count");
+    }
+  }
+
+  bench::print_header(
+      "Fault sweep: crash rate x blackout duty cycle (2 replicas)");
+  std::printf("%-18s %8s %8s %8s %9s %9s %8s %9s\n", "faults", "QoE p50",
+              "QoE p95", "stall", "failovers", "fo p95", "failed",
+              "wall ms");
+  bench::print_rule();
+  for (double crash_rate : {0.0, 2.0, 6.0}) {
+    for (double blackout_duty : {0.0, 0.10}) {
+      FleetConfig fleet = fleet_config(n, 2, 64);
+      fleet.faults.seed = 1234;
+      fleet.faults.horizon_seconds = 600.0;
+      fleet.faults.crash_rate_per_minute = crash_rate;
+      fleet.faults.crash_restart_seconds = 3.0;
+      fleet.faults.blackout_seconds = 1.5;
+      fleet.faults.blackout_rate_per_minute =
+          blackout_duty * 60.0 / fleet.faults.blackout_seconds;
+      // Crashed-over sessions may find the survivor loaded: give them a
+      // waiting room instead of failing on the spot.
+      fleet.max_wait_seconds = 10.0;
+      Timer timer;
+      const FleetResult r = run_fleet(fleet);
+      const double wall = timer.elapsed_ms();
+      char label[64];
+      std::snprintf(label, sizeof(label), "crash%.0f duty%.0f%%", crash_rate,
+                    100.0 * blackout_duty);
+      std::printf("%-18s %8.1f %8.1f %7.2f%% %9zu %8.2fs %8zu %9.0f\n",
+                  label, r.normalized_qoe.p50, r.normalized_qoe.p95,
+                  100.0 * r.stall_rate, r.failovers, r.failover_time.p95,
+                  r.failed_sessions, wall);
+      std::snprintf(label, sizeof(label), "crash%.0f_duty%.0f", crash_rate,
+                    100.0 * blackout_duty);
+      const std::string prefix = std::string("faults/") + label;
+      json.add(prefix + "/qoe_p50", r.normalized_qoe.p50, "qoe");
+      json.add(prefix + "/qoe_p95", r.normalized_qoe.p95, "qoe");
+      json.add(prefix + "/stall_rate", r.stall_rate, "fraction");
+      json.add(prefix + "/failovers", double(r.failovers), "count");
+      json.add(prefix + "/failover_p95", r.failover_time.p95, "s");
+      json.add(prefix + "/session_failures", double(r.failed_sessions),
+               "count");
+      json.add(prefix + "/downloads_aborted", double(r.downloads_aborted),
+               "count");
+      json.add(prefix + "/encode_retries", double(r.encode_queue.retries),
+               "count");
+      json.add(prefix + "/wall_ms", wall, "ms");
     }
   }
 

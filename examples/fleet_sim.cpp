@@ -6,19 +6,56 @@
 // per-replica load, the encode-cache behavior, and the fleet QoE tail — the
 // serving-side view the single-session example (streaming_session) lacks.
 //
-// Usage: ./example_fleet_sim [sessions] [replicas]
+// With --faults the run also demonstrates the failure-recovery layer:
+// replica 0 crashes mid-run, its sessions fail over through re-admission,
+// and the walkthrough prints the fault accounting plus one affected
+// session's full event timeline (EventLog::session_json).
+//
+// Usage: ./example_fleet_sim [sessions] [replicas] [--faults]
+//                            [--events <path>] [--metrics <path>]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/serve/fleet.h"
 
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace volut;
-  const std::size_t sessions = argc > 1 ? std::size_t(std::atol(argv[1])) : 24;
-  const std::size_t replicas = argc > 2 ? std::size_t(std::atol(argv[2])) : 2;
+  bool with_faults = false;
+  std::string events_path, metrics_path;
+  std::vector<std::size_t> positional;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--faults") == 0) {
+      with_faults = true;
+    } else if (std::strcmp(argv[a], "--events") == 0 && a + 1 < argc) {
+      events_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
+      metrics_path = argv[++a];
+    } else {
+      positional.push_back(std::size_t(std::atol(argv[a])));
+    }
+  }
+  const std::size_t sessions = !positional.empty() ? positional[0] : 24;
+  const std::size_t replicas = positional.size() > 1 ? positional[1] : 2;
 
   FleetConfig fleet;
   fleet.clients = make_mixed_fleet(sessions, /*arrival_spacing=*/0.5,
@@ -44,6 +81,14 @@ int main(int argc, char** argv) {
   fleet.shard_cache_per_replica = true;  // one consistent-hash shard/replica
   fleet.encode_seconds_full = 0.040;
   fleet.measure_sr_stride = 5;
+
+  if (with_faults) {
+    // Crash replica 0 for 2 s while arrivals are still streaming in: its
+    // sessions abort their downloads and fail over (re-admission, waiting
+    // room when the survivors are full).
+    fleet.faults.crashes = {{/*replica=*/0, /*start=*/3.0, /*seconds=*/2.0}};
+    std::printf("faults armed: replica 0 crashes at t=3.0 s for 2.0 s\n\n");
+  }
 
   ThreadPool pool;  // sized from the device profile / VOLUT_THREADS
   const FleetResult result = run_fleet(fleet, &pool);
@@ -143,6 +188,47 @@ int main(int argc, char** argv) {
     if (count == 0) continue;
     std::printf("  %-24s %8zu %10.1f %9.1fs\n", wanted, count,
                 qoe / double(count), stalls);
+  }
+
+  if (with_faults) {
+    std::printf("\nfault recovery:\n");
+    std::printf("  %zu failovers (latency p50 %.2f s / p95 %.2f s), "
+                "%zu session failures\n",
+                result.failovers, result.failover_time.p50,
+                result.failover_time.p95, result.failed_sessions);
+    std::printf("  %zu downloads aborted (%.1f MB of partial transfer "
+                "discarded)\n",
+                result.downloads_aborted, result.bytes_discarded / 1e6);
+    for (std::size_t r = 0; r < result.replicas.size(); ++r) {
+      if (result.replicas[r].crashes == 0) continue;
+      std::printf("  replica %zu: %zu crash(es), down %.1f s\n", r,
+                  result.replicas[r].crashes,
+                  result.replicas[r].down_seconds);
+    }
+
+    // The per-session view an on-call engineer would pull up: the full
+    // timeline of the first session that had to fail over.
+    std::uint32_t victim = kNoSession;
+    for (const FleetEvent& event : result.events.events()) {
+      if (event.type == FleetEventType::kFailoverStart) {
+        victim = event.session;
+        break;
+      }
+    }
+    if (victim != kNoSession) {
+      std::printf("\nfailover timeline of session %u "
+                  "(EventLog::session_json):\n%s\n",
+                  victim, result.events.session_json(victim).c_str());
+    }
+  }
+
+  if (!events_path.empty() &&
+      !write_text_file(events_path, result.events.to_json())) {
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !MetricsRegistry::global().write_json(metrics_path)) {
+    return 1;
   }
   return 0;
 }

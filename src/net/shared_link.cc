@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "src/obs/metrics.h"
 
@@ -31,7 +32,33 @@ Counter& dead_trace_counter() {
       MetricsRegistry::global().counter("net/dead_trace_detections");
   return c;
 }
+Counter& flows_aborted_counter() {
+  static Counter& c = MetricsRegistry::global().counter("net/flows_aborted");
+  return c;
+}
 }  // namespace
+
+void SharedLink::set_rate_scale(double scale) {
+  if (!(scale >= 0.0)) {  // rejects NaN too
+    throw std::invalid_argument(
+        "SharedLink::set_rate_scale: scale must be finite and >= 0");
+  }
+  rate_scale_ = scale;
+}
+
+double SharedLink::abort_flow(std::uint64_t id) {
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].id != id) continue;
+    const double received =
+        flows_[i].total_bytes - flows_[i].remaining_bits / 8.0;
+    bytes_aborted_ += received;
+    ++flows_aborted_;
+    flows_aborted_counter().add();
+    flows_.erase(flows_.begin() + std::ptrdiff_t(i));
+    return received;
+  }
+  throw std::invalid_argument("SharedLink::abort_flow: unknown flow id");
+}
 
 std::uint64_t SharedLink::start_flow(double bytes, const BandwidthTrace* cap) {
   Flow flow;
@@ -46,7 +73,7 @@ std::uint64_t SharedLink::start_flow(double bytes, const BandwidthTrace* cap) {
 
 double SharedLink::flow_rate_bps(const Flow& flow, double t,
                                  std::size_t n) const {
-  double rate = trace_.bandwidth_at(t) * 1e6 / double(n);
+  double rate = rate_scale_ * trace_.bandwidth_at(t) * 1e6 / double(n);
   if (flow.cap != nullptr && !flow.cap->empty()) {
     rate = std::min(rate, flow.cap->bandwidth_at(t) * 1e6);
   }
@@ -77,6 +104,10 @@ double SharedLink::next_completion_time(double now) const {
   for (std::size_t i = 0; i < n; ++i) {
     if (rem[i] <= 0.0) return t;
   }
+  // A blackout (scale 0) pins every rate to zero until the caller flips the
+  // scale back — that restore is the caller's own event, so report idle
+  // here instead of walking segments into the dead-trace detector.
+  if (rate_scale_ <= 0.0) return kInf;
   // Zero-capacity futility cutoff: every involved trace is periodic, so if
   // no flow drains a single bit across a span covering a couple of full
   // periods of each trace, capacity is effectively zero and nothing will

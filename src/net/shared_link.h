@@ -29,15 +29,29 @@ class SharedLink {
   const BandwidthTrace& trace() const { return trace_; }
   std::size_t active_flows() const { return flows_.size(); }
 
-  /// Total bits drained across all flows so far (conservation accounting).
+  /// Total bits drained across all flows so far (conservation accounting;
+  /// includes bits delivered to later-aborted flows).
   double bits_drained() const { return bits_drained_; }
   /// Total bytes of fully completed flows.
   double bytes_completed() const { return bytes_completed_; }
 
+  /// Capacity multiplier applied on top of the trace: 1 nominal, 0 during a
+  /// blackout, anything between for a brownout. Fault boundaries re-rate
+  /// every active flow from the moment the caller flips this — the caller
+  /// must have advance()d up to that moment first. Throws
+  /// std::invalid_argument on NaN or negative scales.
+  void set_rate_scale(double scale);
+  double rate_scale() const { return rate_scale_; }
+
+  /// Flows killed via abort_flow and the bytes they had already received
+  /// (those bytes stay in bits_drained() but never reach bytes_completed()).
+  std::uint64_t flows_aborted() const { return flows_aborted_; }
+  double bytes_aborted() const { return bytes_aborted_; }
+
   /// Bandwidth (Mbps) a new flow admitted at `now` would start with — the
   /// equal share after joining. This is what the ABR gets to observe.
   double share_mbps(double now) const {
-    return trace_.bandwidth_at(now) / double(flows_.size() + 1);
+    return rate_scale_ * trace_.bandwidth_at(now) / double(flows_.size() + 1);
   }
 
   /// Starts a `bytes`-sized download whose transfer begins at `now` (the
@@ -64,6 +78,12 @@ class SharedLink {
   /// advance(now, now) delivers them).
   std::vector<Completion> advance(double now, double until);
 
+  /// Kills an active flow (replica crash: the partial download is garbage to
+  /// the client). Returns the bytes the flow had already received — the
+  /// discarded transfer the caller accounts as waste. Throws
+  /// std::invalid_argument if no active flow has this id.
+  double abort_flow(std::uint64_t id);
+
  private:
   struct Flow {
     std::uint64_t id = 0;
@@ -81,8 +101,11 @@ class SharedLink {
   BandwidthTrace trace_;
   std::vector<Flow> flows_;
   std::uint64_t next_id_ = 1;
+  double rate_scale_ = 1.0;
   double bits_drained_ = 0.0;
   double bytes_completed_ = 0.0;
+  std::uint64_t flows_aborted_ = 0;
+  double bytes_aborted_ = 0.0;
 };
 
 }  // namespace volut

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "src/core/rng.h"
 
@@ -12,7 +13,29 @@ namespace volut {
 BandwidthTrace::BandwidthTrace(std::vector<double> samples_mbps,
                                double dt_seconds, std::string name)
     : samples_(std::move(samples_mbps)), dt_(dt_seconds),
-      name_(std::move(name)) {}
+      name_(std::move(name)) {
+  // Garbage rates used to flow silently into SharedLink, where an all-NaN
+  // trace only surfaced periods later as a dead-trace detection. Reject at
+  // the source instead. All-zero traces stay valid: "link is down" is a
+  // scenario (and what the dead-trace cutoff exists for), corrupt data is
+  // not. The default-constructed empty trace also stays valid — it is the
+  // documented "no cap" sentinel for per-client downlinks.
+  if (samples_.empty()) {
+    throw std::invalid_argument(
+        "BandwidthTrace '" + name_ + "': needs at least one sample");
+  }
+  if (!(std::isfinite(dt_) && dt_ > 0.0)) {
+    throw std::invalid_argument(
+        "BandwidthTrace '" + name_ + "': dt_seconds must be finite and > 0");
+  }
+  for (double s : samples_) {
+    if (!(std::isfinite(s) && s >= 0.0)) {
+      throw std::invalid_argument(
+          "BandwidthTrace '" + name_ +
+          "': rates must be finite and >= 0 (got " + std::to_string(s) + ")");
+    }
+  }
+}
 
 BandwidthTrace BandwidthTrace::stable(double mbps, double duration_s) {
   const std::size_t n = std::max<std::size_t>(1, std::size_t(duration_s));

@@ -20,7 +20,9 @@ class BandwidthTrace {
  public:
   BandwidthTrace() = default;
   /// `samples_mbps[i]` applies over [i*dt, (i+1)*dt); the trace repeats
-  /// periodically past its end.
+  /// periodically past its end. Throws std::invalid_argument on an empty
+  /// sample list, non-positive dt, or any NaN/negative rate (all-zero
+  /// "dead link" traces remain valid).
   BandwidthTrace(std::vector<double> samples_mbps, double dt_seconds,
                  std::string name = "trace");
 

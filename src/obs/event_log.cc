@@ -24,6 +24,23 @@ const char* fleet_event_name(FleetEventType type) {
     case FleetEventType::kRebufferEnd: return "rebuffer_end";
     case FleetEventType::kQualitySwitch: return "quality_switch";
     case FleetEventType::kSessionDone: return "session_done";
+    case FleetEventType::kReplicaDown: return "replica_down";
+    case FleetEventType::kReplicaUp: return "replica_up";
+    case FleetEventType::kReplicaDegraded: return "replica_degraded";
+    case FleetEventType::kReplicaRecovered: return "replica_recovered";
+    case FleetEventType::kUplinkDegrade: return "uplink_degrade";
+    case FleetEventType::kUplinkRestore: return "uplink_restore";
+    case FleetEventType::kDownloadAbort: return "download_abort";
+    case FleetEventType::kFailoverStart: return "failover_start";
+    case FleetEventType::kFailoverComplete: return "failover_complete";
+    case FleetEventType::kEncodeFail: return "encode_fail";
+    case FleetEventType::kEncodeRetry: return "encode_retry";
+    case FleetEventType::kEncodeGiveUp: return "encode_give_up";
+    case FleetEventType::kEncodeAbandon: return "encode_abandon";
+    case FleetEventType::kSessionFail: return "session_fail";
+    case FleetEventType::kDensityDownshift: return "density_downshift";
+    case FleetEventType::kBreakerTrip: return "breaker_trip";
+    case FleetEventType::kBreakerReset: return "breaker_reset";
   }
   return "unknown";
 }

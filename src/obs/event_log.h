@@ -41,9 +41,29 @@ enum class FleetEventType : std::uint8_t {
   kRebufferEnd,
   kQualitySwitch,
   kSessionDone,
+  // Fault-injection + recovery lifecycle (serve/faults.h). Replica-scoped
+  // events carry kNoSession; session-scoped ones name the failing-over or
+  // failing client.
+  kReplicaDown,       // crash window opens; value = restart delay (s)
+  kReplicaUp,         // crash window closes
+  kReplicaDegraded,   // scheduled slow-replica window opens
+  kReplicaRecovered,  // slow-replica window closes
+  kUplinkDegrade,     // uplink scale drops; value = new capacity multiplier
+  kUplinkRestore,     // uplink back to full capacity
+  kDownloadAbort,     // in-flight flow killed by a crash; value = bytes lost
+  kFailoverStart,     // session unbound from its crashed replica
+  kFailoverComplete,  // session re-admitted; value = failover latency (s)
+  kEncodeFail,        // encode attempt failed; value = attempt number
+  kEncodeRetry,       // failed encode rescheduled; value = backoff (s)
+  kEncodeGiveUp,      // attempts exhausted; waiters convert to session errors
+  kEncodeAbandon,     // encode completed after every waiter departed
+  kSessionFail,       // admitted session lost to a fault
+  kDensityDownshift,  // graceful degradation; value = downshifted ratio
+  kBreakerTrip,       // consecutive encode failures marked replica degraded
+  kBreakerReset,      // circuit breaker re-closed
 };
 
-inline constexpr std::size_t kFleetEventTypeCount = 18;
+inline constexpr std::size_t kFleetEventTypeCount = 35;
 
 /// Stable snake_case name for JSON export and logs.
 const char* fleet_event_name(FleetEventType type);

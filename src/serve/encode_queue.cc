@@ -65,10 +65,25 @@ void EncodeQueue::set_metrics_prefix(std::string_view prefix) {
   reg_starts_ = &reg.counter(base + "/encode/starts");
   reg_coalesced_ = &reg.counter(base + "/encode/coalesced_joins");
   reg_completions_ = &reg.counter(base + "/encode/completions");
+  reg_failures_ = &reg.counter(base + "/encode/failures");
+  reg_retries_ = &reg.counter(base + "/encode/retries");
+  reg_give_ups_ = &reg.counter(base + "/encode/give_ups");
+  reg_abandoned_ = &reg.counter(base + "/encode/abandoned");
+  static constexpr double kBackoffBounds[] = {0.1, 0.25, 0.5, 1.0,
+                                              2.0, 4.0,  8.0};
+  reg_backoff_ = &reg.histogram(base + "/encode/backoff_seconds",
+                                kBackoffBounds);
   reg_peak_in_flight_ = &reg.gauge(base + "/encode/peak_in_flight");
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].set_metrics_prefix(base + "/cache/shard" + std::to_string(s));
   }
+}
+
+void EncodeQueue::set_fault_policy(EncodeFaultPolicy policy) {
+  if (policy.max_attempts == 0) {
+    throw std::invalid_argument("EncodeQueue: max_attempts must be >= 1");
+  }
+  fault_policy_ = std::move(policy);
 }
 
 void EncodeQueue::finish_encode(const EncodeCacheKey& key, std::size_t bytes,
@@ -89,7 +104,8 @@ void EncodeQueue::finish_encode(const EncodeCacheKey& key, std::size_t bytes,
 
 EncodeQueue::Decision EncodeQueue::request(const EncodeCacheKey& key,
                                            std::size_t bytes, double now,
-                                           double encode_seconds) {
+                                           double encode_seconds,
+                                           std::int32_t replica_hint) {
   EncodeCache& cache = shards_[shard_of(key)];
   if (cache.lookup(key)) {
     return {/*hit=*/true, /*coalesced=*/false, /*ready_at=*/now};
@@ -98,17 +114,31 @@ EncodeQueue::Decision EncodeQueue::request(const EncodeCacheKey& key,
   if (it != in_flight_.end()) {
     ++stats_.coalesced_joins;
     if (reg_coalesced_ != nullptr) reg_coalesced_->add();
+    ++it->second.waiters;
     return {false, /*coalesced=*/true, it->second.ready_at};
   }
+  // A fresh request retries a terminally-failed key from scratch.
+  failed_.erase(key);
   ++stats_.encode_starts;
   if (reg_starts_ != nullptr) reg_starts_->add();
-  if (encode_seconds <= 0.0) {
+  if (encode_seconds <= 0.0 && !fault_policy_.attempt_fails) {
     // Free encode: complete synchronously, exactly the pre-queue fetch path.
+    // With a fault policy armed even free encodes go through the schedule,
+    // so their attempts can fail and retry like any other.
     finish_encode(key, bytes, now);
     return {false, false, now};
   }
-  const double ready_at = now + encode_seconds;
-  in_flight_.emplace(key, InFlight{ready_at, seq_, bytes});
+  const double ready_at = now + std::max(0.0, encode_seconds);
+  InFlight encode;
+  encode.ready_at = ready_at;
+  encode.seq = seq_;
+  encode.seq0 = seq_;
+  encode.bytes = bytes;
+  encode.encode_seconds = std::max(0.0, encode_seconds);
+  encode.attempt = 1;
+  encode.waiters = 1;
+  encode.replica = replica_hint;
+  in_flight_.emplace(key, encode);
   schedule_.emplace(std::make_pair(ready_at, seq_), key);
   ++seq_;
   stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_.size());
@@ -118,21 +148,107 @@ EncodeQueue::Decision EncodeQueue::request(const EncodeCacheKey& key,
   return {false, false, ready_at};
 }
 
+void EncodeQueue::abandon(const EncodeCacheKey& key) {
+  const auto it = in_flight_.find(key);
+  if (it != in_flight_.end() && it->second.waiters > 0) {
+    --it->second.waiters;
+  }
+}
+
+EncodeQueue::KeyState EncodeQueue::key_state(const EncodeCacheKey& key) const {
+  if (shards_[shard_of(key)].contains(key)) return KeyState::kResident;
+  if (in_flight_.count(key) != 0) return KeyState::kInFlight;
+  if (failed_.count(key) != 0) return KeyState::kFailed;
+  return KeyState::kAbsent;
+}
+
+double EncodeQueue::in_flight_ready_at(const EncodeCacheKey& key) const {
+  const auto it = in_flight_.find(key);
+  return it == in_flight_.end() ? kInf : it->second.ready_at;
+}
+
 double EncodeQueue::next_ready() const {
   return schedule_.empty() ? kInf : schedule_.begin()->first.first;
 }
 
-void EncodeQueue::complete_until(double time) {
+std::vector<EncodeQueue::Completion> EncodeQueue::complete_until(
+    double time) {
+  std::vector<Completion> settled;
   while (!schedule_.empty() && schedule_.begin()->first.first <= time) {
     const EncodeCacheKey key = schedule_.begin()->second;
+    schedule_.erase(schedule_.begin());
     const auto it = in_flight_.find(key);
     if (it == in_flight_.end()) {
       throw std::logic_error("EncodeQueue: scheduled encode has no entry");
     }
-    finish_encode(key, it->second.bytes, it->second.ready_at);
-    in_flight_.erase(it);
-    schedule_.erase(schedule_.begin());
+    InFlight& encode = it->second;
+    const double when = encode.ready_at;
+    Completion outcome;
+    outcome.key = key;
+    outcome.time = when;
+    outcome.attempt = encode.attempt;
+    outcome.replica = encode.replica;
+    const bool fails =
+        fault_policy_.attempt_fails &&
+        fault_policy_.attempt_fails(encode.seq0, encode.attempt);
+    if (!fails) {
+      if (encode.waiters == 0) {
+        // Every requester departed mid-encode; the artifact still lands in
+        // its shard (the work was paid for — the next request hits), but
+        // the completion served nobody.
+        ++stats_.abandoned;
+        if (reg_abandoned_ != nullptr) reg_abandoned_->add();
+        if (event_log_ != nullptr) {
+          event_log_->record(when, FleetEventType::kEncodeAbandon, kNoSession,
+                             encode.replica);
+        }
+      }
+      finish_encode(key, encode.bytes, when);
+      in_flight_.erase(it);
+      settled.push_back(outcome);
+      continue;
+    }
+    outcome.success = false;
+    ++stats_.failures;
+    if (reg_failures_ != nullptr) reg_failures_->add();
+    if (event_log_ != nullptr) {
+      event_log_->record(when, FleetEventType::kEncodeFail, kNoSession,
+                         encode.replica, double(encode.attempt));
+    }
+    if (encode.attempt >= fault_policy_.max_attempts) {
+      outcome.terminal = true;
+      ++stats_.exhausted;
+      if (reg_give_ups_ != nullptr) reg_give_ups_->add();
+      if (event_log_ != nullptr) {
+        event_log_->record(when, FleetEventType::kEncodeGiveUp, kNoSession,
+                           encode.replica, double(encode.attempt));
+      }
+      failed_[key] = when;
+      in_flight_.erase(it);
+      settled.push_back(outcome);
+      continue;
+    }
+    // Re-run after capped exponential backoff; waiters stay attached.
+    const std::uint32_t exponent =
+        std::min<std::uint32_t>(encode.attempt - 1, 62);  // cap wins anyway
+    const double backoff =
+        std::min(fault_policy_.backoff_cap_seconds,
+                 fault_policy_.backoff_base_seconds *
+                     double(std::uint64_t(1) << exponent));
+    ++stats_.retries;
+    if (reg_retries_ != nullptr) reg_retries_->add();
+    if (reg_backoff_ != nullptr) reg_backoff_->observe(backoff);
+    if (event_log_ != nullptr) {
+      event_log_->record(when, FleetEventType::kEncodeRetry, kNoSession,
+                         encode.replica, backoff);
+    }
+    ++encode.attempt;
+    encode.ready_at = when + backoff + encode.encode_seconds;
+    encode.seq = seq_++;
+    schedule_.emplace(std::make_pair(encode.ready_at, encode.seq), key);
+    settled.push_back(outcome);
   }
+  return settled;
 }
 
 EncodeCacheStats EncodeQueue::cache_stats() const {

@@ -20,12 +20,22 @@
 // remaps ~1/N of the key space). One shard reproduces the old fleet-wide
 // cache bit for bit.
 //
+// Fault injection (serve/faults.h) plugs in as an EncodeFaultPolicy: each
+// attempt's completion consults a pure per-(encode, attempt) failure draw;
+// failed attempts re-run under capped exponential backoff until
+// max_attempts, after which the key is terminally failed and every waiter
+// converts to a session error. Waiter counts make orphaned encodes
+// observable: when every coalesced requester departs (abandon()) before
+// completion, the finished artifact still lands in its shard but the
+// completion is counted as abandoned.
+//
 // Everything is driven by the caller's event loop and absolute clock: the
 // queue never reads wall time, so it inherits the fleet's determinism.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string_view>
 #include <unordered_map>
@@ -38,6 +48,7 @@ namespace volut {
 
 class EventLog;
 class Gauge;
+class Histogram;
 
 /// Consistent-hash ring: `shards` shards, each projected onto the ring at
 /// `vnodes_per_shard` pseudo-random points; a key hashes to the first vnode
@@ -65,6 +76,31 @@ struct EncodeQueueStats {
   /// Encodes completed and admitted to (or rejected by) their cache shard.
   std::uint64_t completions = 0;
   std::size_t peak_in_flight = 0;
+  /// Encode attempts that failed (fault policy verdicts).
+  std::uint64_t failures = 0;
+  /// Failed attempts that rescheduled under backoff.
+  std::uint64_t retries = 0;
+  /// Keys whose encodes exhausted max_attempts — every waiter converts to a
+  /// session error.
+  std::uint64_t exhausted = 0;
+  /// Encodes that completed after every coalesced requester had departed
+  /// (abandon()): the artifact still lands in its shard — the work was
+  /// already paid for and the next requester hits — but nobody who asked
+  /// for it was still around.
+  std::uint64_t abandoned = 0;
+};
+
+/// Deterministic encode-failure policy. `attempt_fails(seq, attempt)` is
+/// consulted at each attempt's completion time with the encode's start
+/// sequence number and 1-based attempt index; it must be a pure function
+/// (FaultSchedule::encode_attempt_fails is the intended source). A null
+/// predicate never fails — and keeps the zero-latency synchronous encode
+/// path (run_session parity) intact.
+struct EncodeFaultPolicy {
+  std::function<bool(std::uint64_t, std::uint32_t)> attempt_fails;
+  std::uint32_t max_attempts = 4;
+  double backoff_base_seconds = 0.25;
+  double backoff_cap_seconds = 4.0;
 };
 
 class EncodeQueue {
@@ -86,17 +122,61 @@ class EncodeQueue {
   /// One artifact request at absolute time `now`. The caller must have
   /// drained completions up to `now` first (complete_until), so residency
   /// reflects every encode that finished by `now`. A fresh encode completes
-  /// at now + encode_seconds; encode_seconds <= 0 encodes synchronously.
+  /// at now + encode_seconds; encode_seconds <= 0 encodes synchronously
+  /// (unless a fault policy is armed, which routes every encode through the
+  /// schedule so its attempts can fail). `replica_hint` attributes the
+  /// encode to the requester's replica for circuit-breaker accounting (-1 =
+  /// unattributed). A request for a terminally-failed key clears the
+  /// failure and starts a fresh encode.
   Decision request(const EncodeCacheKey& key, std::size_t bytes, double now,
-                   double encode_seconds);
+                   double encode_seconds, std::int32_t replica_hint = -1);
 
   /// Earliest in-flight encode completion, +inf when none — an event source
   /// for the caller's timeline.
   double next_ready() const;
 
-  /// Completes every in-flight encode with ready_at <= time, inserting the
-  /// artifacts into their shards in (ready_at, start order) order.
-  void complete_until(double time);
+  /// Outcome of one encode attempt settled by complete_until — the feed for
+  /// the fleet's circuit breaker and failure accounting.
+  struct Completion {
+    EncodeCacheKey key;
+    double time = 0.0;
+    bool success = true;
+    /// Failed with attempts exhausted: the key is now terminally failed
+    /// (key_state kFailed) until a fresh request clears it.
+    bool terminal = false;
+    std::uint32_t attempt = 1;
+    /// Replica hint of the request that started the encode (-1 none).
+    std::int32_t replica = -1;
+  };
+
+  /// Settles every in-flight encode attempt with ready_at <= time in
+  /// (ready_at, start order) order: successes insert into their shards;
+  /// failures reschedule under capped exponential backoff until
+  /// max_attempts, then turn terminal. Returns the settled attempts.
+  std::vector<Completion> complete_until(double time);
+
+  /// One coalesced requester of `key` departed (session failed over or
+  /// died) before the encode completed. The encode keeps running — single-
+  /// flight work is not cancellable — but a completion nobody waits for is
+  /// counted as abandoned. No-op when the key is not in flight.
+  void abandon(const EncodeCacheKey& key);
+
+  enum class KeyState {
+    kResident,  // in its cache shard now
+    kInFlight,  // encode scheduled; in_flight_ready_at() says when
+    kFailed,    // terminally failed; next request re-encodes from scratch
+    kAbsent,    // never requested, or evicted
+  };
+  /// Residency probe without hit/miss accounting (recovery paths must not
+  /// perturb cache stats).
+  KeyState key_state(const EncodeCacheKey& key) const;
+  /// Current completion time of an in-flight key (+inf when not in flight);
+  /// moves later when attempts fail and reschedule.
+  double in_flight_ready_at(const EncodeCacheKey& key) const;
+
+  /// Arms deterministic encode failures + retry/backoff (see
+  /// EncodeFaultPolicy). Call before the first request.
+  void set_fault_policy(EncodeFaultPolicy policy);
 
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t shard_of(const EncodeCacheKey& key) const {
@@ -121,8 +201,17 @@ class EncodeQueue {
  private:
   struct InFlight {
     double ready_at = 0.0;
-    std::uint64_t seq = 0;  // start order; tie-break for equal ready times
+    std::uint64_t seq = 0;  // schedule key; fresh per attempt
+    /// Start sequence of attempt 1 — the encode's stable identity for the
+    /// fault policy's pure per-(seq, attempt) failure draws.
+    std::uint64_t seq0 = 0;
     std::size_t bytes = 0;
+    double encode_seconds = 0.0;  // per-attempt re-run cost
+    std::uint32_t attempt = 1;
+    /// Coalesced requesters still waiting (starter included); abandon()
+    /// decrements.
+    std::size_t waiters = 0;
+    std::int32_t replica = -1;  // starter's replica hint
   };
 
   std::vector<EncodeCache> shards_;
@@ -130,8 +219,12 @@ class EncodeQueue {
   std::unordered_map<EncodeCacheKey, InFlight, EncodeCacheKeyHash> in_flight_;
   /// (ready_at, seq) -> key; ordered completion schedule.
   std::map<std::pair<double, std::uint64_t>, EncodeCacheKey> schedule_;
+  /// Keys whose encodes exhausted max_attempts -> give-up time. Sticky
+  /// until a fresh request retries the key from scratch.
+  std::unordered_map<EncodeCacheKey, double, EncodeCacheKeyHash> failed_;
   std::uint64_t seq_ = 0;
   EncodeQueueStats stats_;
+  EncodeFaultPolicy fault_policy_;
 
   /// Inserts a completed encode into its shard, bumping registry mirrors and
   /// emitting the completion/eviction events — shared by complete_until and
@@ -143,6 +236,11 @@ class EncodeQueue {
   Counter* reg_starts_ = nullptr;
   Counter* reg_coalesced_ = nullptr;
   Counter* reg_completions_ = nullptr;
+  Counter* reg_failures_ = nullptr;
+  Counter* reg_retries_ = nullptr;
+  Counter* reg_give_ups_ = nullptr;
+  Counter* reg_abandoned_ = nullptr;
+  Histogram* reg_backoff_ = nullptr;
   Gauge* reg_peak_in_flight_ = nullptr;
 };
 

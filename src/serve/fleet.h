@@ -21,6 +21,17 @@
 //     after max_wait_seconds (0 = classic reject-at-cap).
 // Per-session QoE rolls up into fleet percentiles via metrics/stats.
 //
+// Faults are a first-class input (serve/faults.h): a deterministic schedule
+// can crash replicas (sessions fail over through re-admission — the waiting
+// room is reused when capacity is tight; in-flight downloads abort and the
+// active chunk re-requests on the new replica with its partial bytes
+// discarded), black/brown out uplinks (SharedLink re-rates its flows at the
+// boundary), fail encodes (retried under capped exponential backoff until
+// they convert to session errors), and degrade replicas (deprioritized by
+// routing, slower encodes, optional graceful one-bucket density downshift).
+// A circuit breaker marks a replica degraded after consecutive encode
+// failures. Every transition lands in the EventLog and obs counters.
+//
 // Determinism: the timeline is strictly ordered (time, then event class,
 // then client index), so a fleet run is bit-identical for any ThreadPool
 // worker count — the pool only fans out the optional per-session SR
@@ -41,6 +52,7 @@
 #include "src/platform/thread_pool.h"
 #include "src/serve/encode_cache.h"
 #include "src/serve/encode_queue.h"
+#include "src/serve/faults.h"
 #include "src/sr/lut.h"
 #include "src/stream/session.h"
 
@@ -97,6 +109,13 @@ struct FleetConfig {
   /// Ring capacity of FleetResult::events (retained events; per-type totals
   /// always cover the whole run). 0 disables event retention.
   std::size_t event_log_capacity = std::size_t(1) << 16;
+  /// Deterministic fault schedule (serve/faults.h). The default (empty)
+  /// schedule injects nothing and keeps every result bit-identical to a
+  /// fault-free build — pinned by serve_faults_test.
+  FaultScheduleConfig faults;
+  /// Recovery policy: encode retry/backoff budget, circuit breaker, and
+  /// graceful density degradation. Only consulted when faults are armed.
+  FaultRecoveryConfig recovery;
 };
 
 /// One measured SR data point. Everything except `sr_ms` (wall-clock) is
@@ -112,6 +131,7 @@ struct FleetSrSample {
 };
 
 struct ReplicaStats {
+  /// Sessions bound to this replica, failover re-admissions included.
   std::size_t sessions_assigned = 0;
   std::size_t peak_concurrent_flows = 0;
   double bytes_completed = 0.0;
@@ -119,6 +139,13 @@ struct ReplicaStats {
   /// Times the uplink trace silently repeated during the run; nonzero means
   /// the simulation outlived the capture (BandwidthTrace::wrap_count).
   std::uint64_t uplink_trace_wraps = 0;
+  /// Fault exposure: crash windows entered, total seconds down, total
+  /// seconds degraded (scheduled windows and circuit-breaker trips), and
+  /// breaker trips. All zero when the fault schedule is empty.
+  std::size_t crashes = 0;
+  double down_seconds = 0.0;
+  double degraded_seconds = 0.0;
+  std::size_t breaker_trips = 0;
 };
 
 struct FleetResult {
@@ -144,9 +171,29 @@ struct FleetResult {
   /// False when the timeline stopped before every admitted session finished
   /// (dead uplink, event-budget exhaustion): session results and rollups
   /// then cover truncated sessions and must not be read as a clean run.
+  /// Sessions lost to faults (failed_sessions) count as finished — losing a
+  /// session to a crash is an outcome, not a stuck timeline.
   bool completed = true;
   /// Admitted sessions still mid-stream when the timeline stopped.
   std::size_t unfinished_sessions = 0;
+
+  // ---- fault & recovery accounting (all zero with an empty schedule) ----
+  /// Completed failovers: sessions re-admitted after their replica crashed.
+  std::size_t failovers = 0;
+  /// kFailoverStart -> kFailoverComplete latency per completed failover
+  /// (0 when capacity was free; waiting-room time when it was not).
+  Summary failover_time;
+  /// Admitted sessions lost to faults: terminal encode failure, no-capacity
+  /// failover with the waiting room disabled, or failover wait timeout.
+  /// Their partial session results stay in `sessions` and the QoE rollups.
+  std::size_t failed_sessions = 0;
+  /// In-flight downloads killed by replica crashes, and the partial bytes
+  /// the viewers had received and discarded.
+  std::size_t downloads_aborted = 0;
+  double bytes_discarded = 0.0;
+  /// Chunks gracefully downshifted one density bucket because their
+  /// replica was degraded (recovery.degrade_density_when_degraded).
+  std::size_t degraded_chunks = 0;
 
   Summary qoe;             // raw Eq. 10 sums over admitted sessions
   Summary normalized_qoe;  // 0..100 per session

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "src/net/trace.h"
 
@@ -81,6 +83,30 @@ TEST(TraceTest, EmptyTraceNeverWraps) {
   BandwidthTrace trace;
   EXPECT_FALSE(trace.wrapped(100.0));
   EXPECT_EQ(trace.wrap_count(100.0), 0u);
+}
+
+TEST(TraceTest, CtorRejectsMalformedSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(BandwidthTrace({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({10.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({10.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({10.0}, nan), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({10.0, -0.5}, 1.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({10.0, nan}, 1.0), std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(BandwidthTrace({inf}, 1.0), std::invalid_argument);
+}
+
+TEST(TraceTest, AllZeroDeadLinkTraceStaysValid) {
+  // Dead links are a legitimate scenario (fleet truncation tests rely on
+  // them); validation must only reject NaN/negative rates.
+  const BandwidthTrace dead({0.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(dead.bandwidth_at(0.5), 0.0);
+  EXPECT_EQ(dead.transfer_time(100.0, 0.0),
+            std::numeric_limits<double>::infinity());
+  // A default-constructed (empty) trace is the "no cap" sentinel, not an
+  // error.
+  EXPECT_TRUE(BandwidthTrace().empty());
 }
 
 TEST(LinkTest, DownloadIncludesRtt) {

@@ -151,6 +151,58 @@ TEST(FleetSweepTest, BitIdenticalAcrossPoolWorkerCounts) {
   }
 }
 
+TEST(FleetFaultSweepTest, ArmedScheduleBitIdenticalAcrossPoolWorkerCounts) {
+  // The fault acceptance bar: with crashes, blackouts, a degradation window
+  // and stochastic encode failures all armed, the run — recovery cascades
+  // included — stays bit-identical for any worker count. Faults live on the
+  // single-threaded timeline; the pool still only fans out SR measurement.
+  FleetConfig fleet = sweep_config();
+  fleet.faults.seed = 0xBADF00Du;
+  fleet.faults.crashes = {{0, 3.0, 2.0}, {1, 9.0, 1.0}};
+  fleet.faults.blackouts = {{1, 5.0, 1.5}};
+  fleet.faults.brownouts = {{0, 12.0, 4.0}};
+  fleet.faults.degradations = {{1, 14.0, 6.0}};
+  fleet.faults.encode_failure_rate = 0.15;
+  fleet.recovery.encode_backoff_base_seconds = 0.1;
+  fleet.recovery.degrade_density_when_degraded = true;
+
+  ThreadPool pool1(1);
+  const FleetResult reference = run_fleet(fleet, &pool1);
+  EXPECT_TRUE(reference.completed);
+  EXPECT_GT(reference.failovers, 0u);
+  EXPECT_GT(reference.encode_queue.retries, 0u);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    const FleetResult run = run_fleet(fleet, &pool);
+    EXPECT_EQ(run.failovers, reference.failovers);
+    EXPECT_EQ(run.failed_sessions, reference.failed_sessions);
+    EXPECT_EQ(run.downloads_aborted, reference.downloads_aborted);
+    EXPECT_DOUBLE_EQ(run.bytes_discarded, reference.bytes_discarded);
+    EXPECT_EQ(run.degraded_chunks, reference.degraded_chunks);
+    EXPECT_DOUBLE_EQ(run.failover_time.p95, reference.failover_time.p95);
+    EXPECT_EQ(run.encode_queue.failures, reference.encode_queue.failures);
+    EXPECT_EQ(run.encode_queue.retries, reference.encode_queue.retries);
+    EXPECT_EQ(run.encode_queue.exhausted, reference.encode_queue.exhausted);
+    ASSERT_EQ(run.sessions.size(), reference.sessions.size());
+    for (std::size_t i = 0; i < run.sessions.size(); ++i) {
+      EXPECT_DOUBLE_EQ(run.sessions[i].qoe, reference.sessions[i].qoe)
+          << "session " << i << " @ " << workers << " workers";
+      EXPECT_DOUBLE_EQ(run.sessions[i].stall_seconds,
+                       reference.sessions[i].stall_seconds);
+    }
+    for (std::size_t r = 0; r < run.replicas.size(); ++r) {
+      EXPECT_EQ(run.replicas[r].crashes, reference.replicas[r].crashes);
+      EXPECT_DOUBLE_EQ(run.replicas[r].down_seconds,
+                       reference.replicas[r].down_seconds);
+      EXPECT_DOUBLE_EQ(run.replicas[r].degraded_seconds,
+                       reference.replicas[r].degraded_seconds);
+    }
+    EXPECT_EQ(run.timeline_events, reference.timeline_events);
+    EXPECT_TRUE(run.events == reference.events)
+        << "fault timeline diverged @ " << workers << " workers";
+  }
+}
+
 #if VOLUT_OBS_ENABLED
 TEST(FleetSweepTest, RegistryCountersAgreeWithLegacyAccessors) {
   // The registry mirrors (serve/encode/*, serve/cache/shard*/*) are bumped

@@ -669,6 +669,145 @@ TEST(FleetTest, HealthyRunReportsCompleted) {
   EXPECT_EQ(result.unfinished_sessions, 0u);
 }
 
+TEST(EncodeQueueTest, AbandonedEncodeStillLandsInCacheAndIsCounted) {
+  EncodeQueue queue(1, 1000);
+  queue.request(key_of(0), 100, /*now=*/0.0, /*encode_seconds=*/1.0);
+  queue.request(key_of(0), 100, 0.2, 1.0);  // coalesced second waiter
+  // Both requesters depart mid-encode (sessions failed over or died).
+  queue.abandon(key_of(0));
+  queue.abandon(key_of(0));
+  const auto settled = queue.complete_until(1.0);
+  ASSERT_EQ(settled.size(), 1u);
+  EXPECT_TRUE(settled[0].success);
+  EXPECT_EQ(queue.stats().abandoned, 1u);
+  EXPECT_EQ(queue.stats().completions, 1u);
+  // The work was paid for: the artifact is resident and the next request
+  // of the key is a plain hit.
+  EXPECT_EQ(queue.key_state(key_of(0)), EncodeQueue::KeyState::kResident);
+  EXPECT_TRUE(queue.request(key_of(0), 100, 1.5, 1.0).hit);
+}
+
+TEST(EncodeQueueTest, DepartureOfOneWaiterIsNotAbandonment) {
+  EncodeQueue queue(1, 1000);
+  queue.request(key_of(0), 100, 0.0, 1.0);
+  queue.request(key_of(0), 100, 0.2, 1.0);
+  queue.abandon(key_of(0));  // one of two waiters departs
+  queue.complete_until(1.0);
+  EXPECT_EQ(queue.stats().abandoned, 0u);
+  // Abandoning a key that is not in flight is a no-op.
+  queue.abandon(key_of(3));
+  EXPECT_EQ(queue.stats().abandoned, 0u);
+}
+
+TEST(EncodeQueueTest, FailedAttemptsRetryUnderCappedExponentialBackoff) {
+  EncodeQueue queue(1, 1000);
+  EncodeFaultPolicy policy;
+  policy.attempt_fails = [](std::uint64_t, std::uint32_t attempt) {
+    return attempt <= 2;  // first two attempts fail, third succeeds
+  };
+  policy.max_attempts = 4;
+  policy.backoff_base_seconds = 0.25;
+  policy.backoff_cap_seconds = 4.0;
+  queue.set_fault_policy(policy);
+
+  const auto decision = queue.request(key_of(0), 100, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(decision.ready_at, 1.0);
+  // Attempt 1 fails at 1.0: backoff 0.25, re-run -> ready 2.25.
+  auto settled = queue.complete_until(1.0);
+  ASSERT_EQ(settled.size(), 1u);
+  EXPECT_FALSE(settled[0].success);
+  EXPECT_FALSE(settled[0].terminal);
+  EXPECT_EQ(settled[0].attempt, 1u);
+  EXPECT_EQ(queue.key_state(key_of(0)), EncodeQueue::KeyState::kInFlight);
+  EXPECT_DOUBLE_EQ(queue.in_flight_ready_at(key_of(0)), 2.25);
+  // Attempt 2 fails at 2.25: backoff 0.5 (doubled), re-run -> ready 3.75.
+  settled = queue.complete_until(2.25);
+  ASSERT_EQ(settled.size(), 1u);
+  EXPECT_EQ(settled[0].attempt, 2u);
+  EXPECT_DOUBLE_EQ(queue.in_flight_ready_at(key_of(0)), 3.75);
+  // Attempt 3 succeeds; the artifact finally lands.
+  settled = queue.complete_until(3.75);
+  ASSERT_EQ(settled.size(), 1u);
+  EXPECT_TRUE(settled[0].success);
+  EXPECT_EQ(settled[0].attempt, 3u);
+  EXPECT_EQ(queue.key_state(key_of(0)), EncodeQueue::KeyState::kResident);
+  EXPECT_EQ(queue.stats().failures, 2u);
+  EXPECT_EQ(queue.stats().retries, 2u);
+  EXPECT_EQ(queue.stats().exhausted, 0u);
+  EXPECT_EQ(queue.stats().completions, 1u);
+}
+
+TEST(EncodeQueueTest, ExhaustedAttemptsTurnTerminalUntilRefetch) {
+  EncodeQueue queue(1, 1000);
+  EncodeFaultPolicy policy;
+  policy.attempt_fails = [](std::uint64_t, std::uint32_t) { return true; };
+  policy.max_attempts = 2;
+  policy.backoff_base_seconds = 0.25;
+  queue.set_fault_policy(policy);
+
+  queue.request(key_of(0), 100, 0.0, 1.0);
+  const auto settled = queue.complete_until(10.0);
+  ASSERT_EQ(settled.size(), 2u);
+  EXPECT_TRUE(settled[1].terminal);
+  EXPECT_EQ(queue.key_state(key_of(0)), EncodeQueue::KeyState::kFailed);
+  EXPECT_EQ(queue.stats().exhausted, 1u);
+  EXPECT_EQ(queue.stats().completions, 0u);
+  // A fresh request clears the terminal failure and re-encodes from scratch.
+  const auto retry = queue.request(key_of(0), 100, 20.0, 1.0);
+  EXPECT_FALSE(retry.hit);
+  EXPECT_FALSE(retry.coalesced);
+  EXPECT_EQ(queue.key_state(key_of(0)), EncodeQueue::KeyState::kInFlight);
+}
+
+TEST(SharedLinkTest, RateScaleThrottlesAndBlackoutPausesFlows) {
+  SharedLink link(BandwidthTrace::stable(8.0));  // 1 MB/s
+  link.start_flow(1e6);
+  EXPECT_DOUBLE_EQ(link.next_completion_time(0.0), 1.0);
+
+  link.set_rate_scale(0.5);  // brownout: half capacity
+  EXPECT_DOUBLE_EQ(link.next_completion_time(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(link.share_mbps(0.0), 0.5 * 8.0 / 2.0);
+
+  link.set_rate_scale(0.0);  // blackout: flows stall in place
+  EXPECT_EQ(link.next_completion_time(0.0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(link.advance(0.0, 5.0).empty());
+  EXPECT_EQ(link.active_flows(), 1u);
+
+  link.set_rate_scale(1.0);  // restore: remaining bytes drain at full rate
+  const auto done = link.advance(5.0, 6.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].time, 6.0);
+
+  EXPECT_THROW(link.set_rate_scale(-0.1), std::invalid_argument);
+  EXPECT_THROW(link.set_rate_scale(std::nan("")), std::invalid_argument);
+}
+
+TEST(SharedLinkTest, AbortFlowDiscardsPartialBytesAndFreesShare) {
+  SharedLink link(BandwidthTrace::stable(8.0));  // 1 MB/s shared
+  const std::uint64_t a = link.start_flow(1e6);
+  const std::uint64_t b = link.start_flow(1e6);
+  link.advance(0.0, 1.0);  // each flow got 0.5 MB
+
+  const double discarded = link.abort_flow(a);
+  EXPECT_NEAR(discarded, 5e5, 1.0);
+  EXPECT_EQ(link.flows_aborted(), 1u);
+  EXPECT_NEAR(link.bytes_aborted(), 5e5, 1.0);
+  EXPECT_EQ(link.active_flows(), 1u);
+
+  // The survivor now owns the whole link: 0.5 MB left at 1 MB/s.
+  EXPECT_NEAR(link.next_completion_time(1.0), 1.5, 1e-9);
+  const auto done = link.advance(1.0, 2.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, b);
+  // Aborted bytes stay in the drain accounting but not in completions.
+  EXPECT_NEAR(link.bytes_completed(), 1e6, 1.0);
+  EXPECT_NEAR(link.bits_drained(), (1e6 + 5e5) * 8.0, 8.0);
+
+  EXPECT_THROW(link.abort_flow(a), std::invalid_argument);  // already gone
+  EXPECT_THROW(link.abort_flow(999), std::invalid_argument);
+}
+
 TEST(FleetTest, RequiresAtLeastOneReplica) {
   FleetConfig fleet;
   fleet.clients.push_back(

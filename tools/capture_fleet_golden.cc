@@ -1,0 +1,38 @@
+// One-off capture of pre-fault-PR fleet outputs, used to pin the
+// empty-fault-schedule regression goldens in serve_faults_test.cc.
+#include <cstdio>
+
+#include "src/serve/fleet.h"
+
+int main() {
+  using namespace volut;
+  FleetConfig fleet;
+  fleet.clients = make_mixed_fleet(/*n=*/24, /*arrival_spacing=*/0.25,
+                                   /*max_chunks=*/10, /*video_scale=*/0.01);
+  fleet.replica_uplinks = {BandwidthTrace::lte(20.0, 5.0, 600.0, 31),
+                          BandwidthTrace::lte(20.0, 5.0, 600.0, 32)};
+  fleet.rtt_seconds = 0.020;
+  fleet.max_sessions_per_replica = 4;
+  fleet.max_wait_seconds = 4.0;
+  fleet.cache_budget_bytes = 8u << 20;
+  fleet.shard_cache_per_replica = true;
+  fleet.encode_seconds_full = 0.040;
+  const FleetResult r = run_fleet(fleet);
+  std::printf("admitted=%zu rejected=%zu timed_out=%zu\n", r.admitted,
+              r.rejected, r.timed_out);
+  std::printf("hits=%llu misses=%llu evictions=%llu\n",
+              (unsigned long long)r.cache.hits,
+              (unsigned long long)r.cache.misses,
+              (unsigned long long)r.cache.evictions);
+  std::printf("starts=%llu coalesced=%llu completions=%llu\n",
+              (unsigned long long)r.encode_queue.encode_starts,
+              (unsigned long long)r.encode_queue.coalesced_joins,
+              (unsigned long long)r.encode_queue.completions);
+  std::printf("timeline_events=%llu queue_depth_peak=%zu\n",
+              (unsigned long long)r.timeline_events, r.queue_depth_peak);
+  std::printf("qoe_p50=%.17g stall=%.17g bytes=%.17g\n", r.normalized_qoe.p50,
+              r.total_stall_seconds, r.total_bytes);
+  std::printf("wait_p95=%.17g sim_seconds=%.17g\n", r.wait_time.p95,
+              r.sim_seconds);
+  return 0;
+}
