@@ -102,7 +102,9 @@ RefinementLut build_lut_from_samples(const TrainingSet& data,
       slot.first += samples.targets[s];
       ++slot.second;
     }
-    for (const auto& [idx, sum_count] : acc) {
+    // Each entry writes its own LUT slot from its own sum/count — no
+    // cross-iteration accumulation, so hash order cannot reach the result.
+    for (const auto& [idx, sum_count] : acc) {  // lint: order-independent
       lut.set(axis, idx,
               float(sum_count.first / double(sum_count.second)));
     }

@@ -45,7 +45,11 @@ PointCloud voxel_downsample(const PointCloud& cloud, float voxel) {
     long r = 0, g = 0, b = 0;
     std::size_t count = 0;
   };
+  // The map is lookup-only; the drain below walks `order` (cells in
+  // first-touch order), so the output point order is a pure function of the
+  // input order — hash-bucket layout never reaches the result.
   std::unordered_map<std::uint64_t, Cell> cells;
+  std::vector<std::uint64_t> order;
   for (std::size_t i = 0; i < cloud.size(); ++i) {
     const Vec3f& p = cloud.position(i);
     const auto ix = std::uint64_t((p.x - box.lo.x) / voxel);
@@ -54,6 +58,7 @@ PointCloud voxel_downsample(const PointCloud& cloud, float voxel) {
     const std::uint64_t key = (ix * 73856093ull) ^ (iy * 19349663ull) ^
                               (iz * 83492791ull);
     Cell& c = cells[key];
+    if (c.count == 0) order.push_back(key);
     c.sum += p;
     c.r += cloud.color(i).r;
     c.g += cloud.color(i).g;
@@ -61,8 +66,9 @@ PointCloud voxel_downsample(const PointCloud& cloud, float voxel) {
     ++c.count;
   }
   PointCloud out;
-  out.reserve(cells.size());
-  for (const auto& [key, c] : cells) {
+  out.reserve(order.size());
+  for (const std::uint64_t key : order) {
+    const Cell& c = cells.at(key);
     const float inv = 1.0f / float(c.count);
     out.push_back(c.sum * inv,
                   Color{std::uint8_t(double(c.r) / double(c.count)),

@@ -2,6 +2,7 @@
 // neighbor reuse, colorization.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
 
 #include "src/core/rng.h"
@@ -57,6 +58,51 @@ TEST(VoxelDownsampleTest, ReducesAndPreservesExtent) {
   EXPECT_LT(down.size(), pc.size());
   EXPECT_GT(down.size(), 50u);
   EXPECT_NEAR(down.bounds().diagonal(), pc.bounds().diagonal(), 0.5f);
+}
+
+TEST(VoxelDownsampleTest, OutputFollowsFirstTouchOrder) {
+  // Pin the drain order of voxel_downsample: output cells must appear in
+  // the order their voxel was first touched by the input, never in
+  // unordered_map bucket order (which varies with hash layout and would
+  // break the bit-identical determinism contract).
+  //
+  // Each point gets its own voxel (spacing 2 with voxel=1), scrambled so
+  // input order and coordinate order disagree; the output must reproduce
+  // the input order exactly.
+  constexpr std::size_t kN = 64;
+  std::array<std::size_t, kN> perm{};
+  for (std::size_t i = 0; i < kN; ++i) perm[i] = i;
+  Rng rng(8);
+  for (std::size_t i = kN; i-- > 1;) {
+    std::swap(perm[i], perm[rng.next(i + 1)]);
+  }
+  PointCloud pc;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto k = float(perm[i]);
+    pc.push_back({2.0f * k, 0.0f, -2.0f * k},
+                 Color{std::uint8_t(perm[i]), 0, 0});
+  }
+  const PointCloud down = voxel_downsample(pc, 1.0f);
+  ASSERT_EQ(down.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(down.position(i).x, pc.position(i).x) << "at index " << i;
+    EXPECT_EQ(down.position(i).z, pc.position(i).z) << "at index " << i;
+    EXPECT_EQ(down.color(i).r, pc.color(i).r) << "at index " << i;
+  }
+
+  // Duplicating every point (in reverse) must not change the output: cell
+  // order is keyed to FIRST touch, and the centroid of two identical
+  // points is the point itself.
+  PointCloud doubled = pc;
+  for (std::size_t i = kN; i-- > 0;) {
+    doubled.push_back(pc.position(i), pc.color(i));
+  }
+  const PointCloud down2 = voxel_downsample(doubled, 1.0f);
+  ASSERT_EQ(down2.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(down2.position(i).x, pc.position(i).x) << "at index " << i;
+    EXPECT_EQ(down2.color(i).r, pc.color(i).r) << "at index " << i;
+  }
 }
 
 TEST(InterpolationTest, RatioOneIsIdentity) {
