@@ -85,6 +85,8 @@ Matrix Mlp::forward(const Matrix& x) const {
 Matrix Mlp::forward_train(const Matrix& x) {
   inputs_.clear();
   pre_act_.clear();
+  inputs_.reserve(layers_.size());
+  pre_act_.reserve(layers_.size());
   Matrix h = x;
   for (const LinearLayer& layer : layers_) {
     inputs_.push_back(h);

@@ -12,7 +12,9 @@ std::size_t default_worker_count(const DeviceProfile& profile) {
                       ? profile.threads
                       : std::max<std::size_t>(
                             1, std::thread::hardware_concurrency());
-  if (const char* env = std::getenv("VOLUT_THREADS")) {
+  // Probed once per pool construction, before any workers exist — nothing
+  // concurrently mutates the environment.
+  if (const char* env = std::getenv("VOLUT_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
     char* end = nullptr;
     // strtol, not strtoul: "-1" must be rejected, not wrapped to 2^64-1.
     const long v = std::strtol(env, &end, 10);

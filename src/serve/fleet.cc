@@ -815,6 +815,10 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
 
   // ------------------------------------------------------------- rollups
   std::vector<double> qoes, norms, stalls, waits;
+  qoes.reserve(n_clients);
+  norms.reserve(n_clients);
+  stalls.reserve(n_clients);
+  waits.reserve(n_clients);
   for (std::size_t i = 0; i < n_clients; ++i) {
     if (!clients[i].engine) continue;
     waits.push_back(result.wait_seconds[i]);

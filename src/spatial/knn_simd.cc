@@ -55,7 +55,9 @@ bool cpu_supports(SimdLevel level) {
 /// or unrecognized request degrades to `detected` with a one-time warning
 /// (never an error — the binary must run everywhere it builds).
 SimdLevel env_clamped(SimdLevel detected) {
-  const char* env = std::getenv("VOLUT_SIMD");
+  // Probed once (static-init of the dispatch level), never re-read while
+  // threads run.
+  const char* env = std::getenv("VOLUT_SIMD");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || *env == '\0') return detected;
   SimdLevel requested = detected;
   if (std::strcmp(env, "scalar") == 0) {

@@ -171,6 +171,7 @@ RefineNet RefineNet::load(std::istream& is) {
   cfg.receptive_field = rf;
   RefineNet net(cfg);
   net.nets_.clear();
+  net.nets_.reserve(3);
   for (int a = 0; a < 3; ++a) net.nets_.push_back(nn::Mlp::load(is));
   return net;
 }
