@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# One-shot static-analysis wrapper: reproduces the lint / clang-format /
+# clang-tidy CI legs locally.
+#
+#   tools/check.sh          # lint self-test + tree lint + format check
+#   tools/check.sh --tidy   # also run clang-tidy (needs a configured build
+#                           # with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
+#
+# Exits non-zero on the first failing layer. Layers whose tool is not
+# installed are skipped with a notice (the container ships without clang
+# tools; CI runs them with pinned versions).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+run_tidy=0
+for arg in "$@"; do
+  case "$arg" in
+    --tidy) run_tidy=1 ;;
+    -h|--help)
+      sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "check.sh: unknown argument '$arg' (try --help)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+fail=0
+
+echo "== volut_lint self-test =="
+python3 "$root/tools/volut_lint/volut_lint.py" --self-test || fail=1
+
+echo "== volut_lint tree =="
+python3 "$root/tools/volut_lint/volut_lint.py" --root "$root" || fail=1
+
+echo "== clang-format =="
+if command -v clang-format >/dev/null 2>&1; then
+  # Same file set as the CI job: tracked sources under src/ tests/ bench/
+  # examples/ tools/.
+  files="$(cd "$root" && git ls-files 'src/*.h' 'src/*.cc' 'tests/*.cc' \
+    'bench/*.h' 'bench/*.cc' 'examples/*.cc' 'tools/*.cc' 2>/dev/null)"
+  if [ -n "$files" ]; then
+    (cd "$root" && echo "$files" | xargs clang-format --dry-run --Werror) \
+      || fail=1
+  fi
+else
+  echo "clang-format not installed — skipped (CI runs it)"
+fi
+
+if [ "$run_tidy" -eq 1 ]; then
+  echo "== clang-tidy =="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed — skipped (CI runs it)" >&2
+  elif [ ! -f "$root/build/compile_commands.json" ]; then
+    echo "build/compile_commands.json missing — configure with" >&2
+    echo "  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    fail=1
+  else
+    runner="$(command -v run-clang-tidy || true)"
+    if [ -n "$runner" ]; then
+      "$runner" -p "$root/build" -quiet "src/.*\.cc$" || fail=1
+    else
+      (cd "$root" && git ls-files 'src/*.cc' |
+        xargs clang-tidy -p "$root/build" --quiet) || fail=1
+    fi
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check.sh: FAILED" >&2
+  exit 1
+fi
+echo "check.sh: all layers clean"

@@ -1,0 +1,19 @@
+// lint-fixture: src/sr/fixture_flags.cc
+// Clean: plain strict-FP arithmetic; parallelism through ThreadPool with
+// worker-count-independent chunk boundaries; #pragma once is not a finding.
+#pragma once
+
+#include <cstddef>
+
+namespace volut {
+
+inline float dot_strict(const float* a, const float* b, std::size_t n) {
+  // Fixed-order accumulation: the sum is a pure function of the inputs.
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace volut

@@ -1,0 +1,20 @@
+// lint-fixture: src/sr/fixture_flags.cc
+// Violations: pragmas that re-associate floating point or spawn threads
+// outside ThreadPool. Either one makes results depend on the compiler's
+// mood or the host's core count instead of the seeded configuration.
+#include <cstddef>
+
+#pragma STDC FP_CONTRACT ON  // expect: nondet-flags
+
+namespace volut {
+
+float dot_badly(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+#pragma omp parallel for reduction(+ : acc)  // expect: nondet-flags
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace volut

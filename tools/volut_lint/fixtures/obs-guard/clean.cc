@@ -1,0 +1,21 @@
+// lint-fixture: src/spatial/fixture_obs.cc
+// Clean: the default is established before the first guarded use — here via
+// a local #ifndef block, exactly what src/obs/metrics.h provides when
+// included. (Including "src/obs/metrics.h" above the use also passes.)
+#include <cstdint>
+
+#ifndef VOLUT_OBS_ENABLED
+#define VOLUT_OBS_ENABLED 1
+#endif
+
+namespace volut {
+
+inline std::uint64_t visits = 0;
+
+inline void touch() {
+#if VOLUT_OBS_ENABLED
+  ++visits;
+#endif
+}
+
+}  // namespace volut

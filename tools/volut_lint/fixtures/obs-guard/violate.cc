@@ -1,0 +1,18 @@
+// lint-fixture: src/spatial/fixture_obs.cc
+// Violation: #if VOLUT_OBS_ENABLED before anything established the macro's
+// default. An undefined identifier evaluates to 0 inside #if, so this TU
+// silently compiles its instrumentation out even in a VOLUT_OBS=ON build —
+// an inconsistent binary instead of a compile error.
+#include <cstdint>
+
+namespace volut {
+
+inline std::uint64_t visits = 0;
+
+inline void touch() {
+#if VOLUT_OBS_ENABLED  // expect: obs-guard
+  ++visits;
+#endif
+}
+
+}  // namespace volut

@@ -1,0 +1,21 @@
+// lint-fixture: src/serve/fixture_rand.cc
+// Clean: randomness through the sanctioned seeded streams; identifiers that
+// merely contain forbidden substrings; forbidden names inside strings and
+// comments (e.g. mt19937) are not findings.
+#include <cstdint>
+#include <string>
+
+#include "src/core/rng.h"
+
+namespace volut {
+
+std::uint64_t draw_well() {
+  CounterRng rng(/*seed=*/1, /*stream=*/2);
+  const std::uint64_t a = rng.next(0, 100);
+  // A comment naming std::rand or random_device is documentation, not use.
+  const std::string note = "seeded, unlike std::rand()";
+  const int operand = 3;  // contains "rand" but is not a call
+  return a + std::uint64_t(operand) + note.size();
+}
+
+}  // namespace volut

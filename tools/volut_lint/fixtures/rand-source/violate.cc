@@ -1,0 +1,17 @@
+// lint-fixture: src/serve/fixture_rand.cc
+// Violations: every randomness primitive that bypasses the seeded
+// Rng/CounterRng streams in src/core/rng.h.
+#include <cstdlib>
+#include <random>
+
+namespace volut {
+
+int draw_badly() {
+  std::random_device entropy;           // expect: rand-source
+  std::mt19937 engine(entropy());      // expect: rand-source
+  std::mt19937_64 wide{42};            // expect: rand-source
+  srand(7);                            // expect: rand-source
+  return rand() % 100 + int(engine()) + int(wide());  // expect: rand-source
+}
+
+}  // namespace volut

@@ -1,0 +1,38 @@
+// lint-fixture: src/serve/fixture_unordered.cc
+// Clean: unordered containers used for lookup only, drains through a sorted
+// index, and a justified order-independent drain behind the escape hatch.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace volut {
+
+struct FixtureClean {
+  std::unordered_map<std::uint64_t, double> per_session;
+
+  double lookup(std::uint64_t id) const {
+    const auto it = per_session.find(id);  // point lookup: order never leaks
+    return it == per_session.end() ? 0.0 : it->second;
+  }
+
+  double sum_sorted(const std::vector<std::uint64_t>& ids) const {
+    // Deterministic drain: iterate a sorted key index, not the map.
+    std::vector<std::uint64_t> sorted(ids);
+    std::sort(sorted.begin(), sorted.end());
+    double total = 0.0;
+    for (const std::uint64_t id : sorted) total += lookup(id);
+    return total;
+  }
+
+  std::size_t count_nonzero() const {
+    std::size_t n = 0;
+    // Commutative integer count: any visit order yields the same result.
+    for (const auto& [id, qoe] : per_session) {  // lint: order-independent
+      if (qoe != 0.0 && id != 0) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace volut

@@ -1,0 +1,35 @@
+// lint-fixture: src/serve/fixture_unordered.cc
+// Violations: draining unordered containers in an order-sensitive module
+// with no justification — bucket order is implementation-defined, so
+// anything the loop emits or accumulates can differ between hosts, library
+// versions, and (via size-dependent rehash points) load levels.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace volut {
+
+using Budget = std::unordered_map<std::uint32_t, double>;
+
+struct FixtureRollup {
+  std::unordered_map<std::uint64_t, double> per_session;
+  std::unordered_set<std::uint32_t> replicas;
+  Budget budgets;
+
+  double sum_in_bucket_order() const {
+    double total = 0.0;
+    for (const auto& [id, qoe] : per_session) {  // expect: unordered-iter
+      total += qoe;  // float accumulation in hash order
+    }
+    for (auto it = replicas.begin(); it != replicas.end(); ++it) {  // expect: unordered-iter
+      total += double(*it);
+    }
+    for (const auto& [replica, share] : budgets) {  // expect: unordered-iter
+      total -= share;
+    }
+    return total;
+  }
+};
+
+}  // namespace volut

@@ -1,0 +1,18 @@
+// lint-fixture: src/serve/fixture_clock.cc
+// Clean: simulated-time arithmetic, durations (not clock reads), and
+// identifiers that merely end in "time"/"clock".
+#include <algorithm>
+#include <chrono>
+
+namespace volut {
+
+double advance_sim(double now, double dt) {
+  // Durations are fine — only *reading* a real clock is forbidden.
+  constexpr auto kTick = std::chrono::milliseconds(10);
+  const double transfer_time(4.0);  // "time(" preceded by an identifier char
+  double clock = now;              // a variable named clock, never called
+  clock += dt + transfer_time + double(kTick.count()) * 1e-3;
+  return std::max(now, clock);
+}
+
+}  // namespace volut

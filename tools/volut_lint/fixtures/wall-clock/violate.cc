@@ -1,0 +1,21 @@
+// lint-fixture: src/serve/fixture_clock.cc
+// Violations: real-clock reads in sim-time code. Results must be a function
+// of simulated time only; these make them a function of the host's clock.
+#include <chrono>
+#include <ctime>
+
+namespace volut {
+
+double sample_badly() {
+  const auto a = std::chrono::steady_clock::now();        // expect: wall-clock
+  const auto b = std::chrono::system_clock::now();        // expect: wall-clock
+  const auto c = std::chrono::high_resolution_clock::now();  // expect: wall-clock
+  const std::time_t d = time(nullptr);                    // expect: wall-clock
+  const std::clock_t e = clock();                         // expect: wall-clock
+  return double(d) + double(e) +
+         double((a.time_since_epoch() + b.time_since_epoch() +
+                 c.time_since_epoch())
+                    .count());
+}
+
+}  // namespace volut
