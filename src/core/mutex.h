@@ -1,0 +1,93 @@
+// Capability-annotated mutex vocabulary: Mutex, MutexLock, CondVar.
+//
+// std::mutex carries no thread-safety-analysis attributes, so a
+// VOLUT_GUARDED_BY(mu_) clause naming one is invisible to clang's
+// analysis. These thin wrappers give every annotated subsystem one
+// vocabulary type the compiler can track:
+//
+//   volut::Mutex      a std::mutex declared as a TSA capability
+//   volut::MutexLock  scoped lock (lock_guard shape) the analysis follows
+//   volut::CondVar    condition variable waiting on a Mutex it REQUIRES
+//
+// Zero-overhead by construction: Mutex is exactly a std::mutex, MutexLock
+// compiles to lock()/unlock() like std::lock_guard, and CondVar adopts the
+// Mutex's native handle into the std::condition_variable wait (no
+// condition_variable_any type erasure).
+//
+// Waiting idiom: the analysis cannot see that a predicate lambda passed to
+// a wait runs under the lock, so annotated code spells waits as explicit
+// loops in the locked scope —
+//
+//   MutexLock lk(mu_);
+//   while (!ready_) cv_.wait(mu_);   // ready_ is VOLUT_GUARDED_BY(mu_)
+//
+// which keeps every guarded read inside a region the analysis can prove.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/core/thread_annotations.h"
+
+namespace volut {
+
+class CondVar;
+
+/// A std::mutex the thread safety analysis tracks as a capability.
+class VOLUT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VOLUT_ACQUIRE() { raw_.lock(); }
+  void unlock() VOLUT_RELEASE() { raw_.unlock(); }
+  bool try_lock() VOLUT_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// Scoped lock holder (the std::lock_guard of the vocabulary). Declared a
+/// scoped capability so the analysis knows the mutex is held exactly for
+/// the object's lifetime.
+class VOLUT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VOLUT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VOLUT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the Mutex vocabulary. wait() REQUIRES the
+/// mutex — the analysis checks every wait happens in a locked scope — and
+/// internally adopts the native std::mutex handle, so the fast
+/// std::condition_variable (futex path) is used rather than
+/// condition_variable_any.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps until notified, reacquires `mu`.
+  /// Spurious wakeups happen; callers loop on their guarded predicate.
+  void wait(Mutex& mu) VOLUT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.raw_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's MutexLock still owns the re-held mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace volut

@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
+//
+// These turn each class's implicit locking contract — "tasks_ is only
+// touched under mu_" — into declarations the compiler proves on every
+// clang build: -Wthread-safety (wired as -Werror=thread-safety behind the
+// VOLUT_THREAD_SAFETY CMake option) rejects any access to a
+// VOLUT_GUARDED_BY member outside its mutex, any call to a VOLUT_REQUIRES
+// function without the lock, and any unbalanced acquire/release. This is
+// the compile-time complement to the TSan CI leg: TSan catches the races
+// an interleaving actually hits, the analysis catches every guard
+// violation the type system can see, on every build.
+//
+// The vocabulary follows the canonical clang mutex.h reference names with
+// a VOLUT_ prefix. Annotate with the volut::Mutex / volut::MutexLock
+// capability types from src/core/mutex.h so REQUIRES clauses name one
+// vocabulary type (std::mutex carries no capability attribute and is
+// invisible to the analysis).
+//
+// Deliberately single-threaded state (the serve event loop's sim-time
+// bookkeeping) is documented with a `// single-threaded: run_fleet`
+// comment instead of a lock — the convention that marks "no guard" as a
+// reviewed decision rather than a gap the analysis silently skipped.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VOLUT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VOLUT_THREAD_ANNOTATION
+#define VOLUT_THREAD_ANNOTATION(x)  // no-op: gcc/msvc have no TSA
+#endif
+
+/// Class attribute: instances are capabilities (lockable resources) the
+/// analysis tracks by name, e.g. `class VOLUT_CAPABILITY("mutex") Mutex`.
+#define VOLUT_CAPABILITY(x) VOLUT_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute for RAII lock holders: the constructor acquires, the
+/// destructor releases, and the held capability follows the object's scope.
+#define VOLUT_SCOPED_CAPABILITY VOLUT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member attribute: reads and writes require holding `x`.
+#define VOLUT_GUARDED_BY(x) VOLUT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Member attribute for pointers: the *pointee* is protected by `x` (the
+/// pointer itself may be read freely).
+#define VOLUT_PT_GUARDED_BY(x) VOLUT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the named capabilities exclusively.
+#define VOLUT_REQUIRES(...) \
+  VOLUT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the named capabilities (guards
+/// against self-deadlock on non-reentrant mutexes).
+#define VOLUT_EXCLUDES(...) \
+  VOLUT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: the function acquires the named capabilities (held
+/// on return, not held on entry). No arguments means `this`.
+#define VOLUT_ACQUIRE(...) \
+  VOLUT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the function releases the named capabilities.
+#define VOLUT_RELEASE(...) \
+  VOLUT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value equals
+/// the first argument, e.g. VOLUT_TRY_ACQUIRE(true).
+#define VOLUT_TRY_ACQUIRE(...) \
+  VOLUT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability (lets
+/// accessors participate in REQUIRES clauses).
+#define VOLUT_RETURN_CAPABILITY(x) \
+  VOLUT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion to the analysis that the capability is held — for the
+/// rare call graph the analysis cannot follow. Use sparingly; every use is
+/// an unchecked claim.
+#define VOLUT_ASSERT_CAPABILITY(x) \
+  VOLUT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a justification comment, mirroring the volut_lint waiver policy.
+#define VOLUT_NO_THREAD_SAFETY_ANALYSIS \
+  VOLUT_THREAD_ANNOTATION(no_thread_safety_analysis)

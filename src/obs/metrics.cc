@@ -59,14 +59,14 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
   return gauges_.try_emplace(std::string(name)).first->second;
@@ -74,7 +74,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> bounds) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_
@@ -84,13 +84,13 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second.value() : 0;
 }
 
 double MetricsRegistry::gauge_value(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = gauges_.find(name);
   return it != gauges_.end() ? it->second.value() : 0.0;
 }
@@ -98,7 +98,7 @@ double MetricsRegistry::gauge_value(std::string_view name) const {
 std::vector<std::pair<std::string, std::uint64_t>>
 MetricsRegistry::counters_with_prefix(std::string_view prefix) const {
   std::vector<std::pair<std::string, std::uint64_t>> out;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& [name, c] : counters_) {
     if (name.size() >= prefix.size() &&
         std::string_view(name).substr(0, prefix.size()) == prefix) {
@@ -109,19 +109,19 @@ MetricsRegistry::counters_with_prefix(std::string_view prefix) const {
 }
 
 std::size_t MetricsRegistry::metric_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out = "{\n  \"schema\": \"volut-metrics-v1\",\n";
 
   out += "  \"counters\": {";
@@ -167,7 +167,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     const std::string p = prometheus_name(name);

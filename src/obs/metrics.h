@@ -29,14 +29,18 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "src/core/mutex.h"
+#include "src/core/thread_annotations.h"
+
 namespace volut {
+
+struct TsaProbe;
 
 /// Monotonically increasing unsigned counter. add() is wait-free (one
 /// relaxed fetch_add) and compiles to nothing under VOLUT_OBS=OFF.
@@ -190,10 +194,20 @@ class MetricsRegistry {
   bool write_json(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  /// Compile-fail probe access (tests/static/thread_safety_probe.cc).
+  friend struct TsaProbe;
+
+  /// Registration and snapshot paths lock; the returned Counter*/Gauge*/
+  /// Histogram* handles are deliberately lock-free — instruments live in
+  /// node-based maps, are never erased, and mutate via their own atomics,
+  /// so an escaped reference stays valid and race-free for the registry's
+  /// lifetime (the contract the header comment documents).
+  mutable Mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_
+      VOLUT_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ VOLUT_GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      VOLUT_GUARDED_BY(mu_);
 };
 
 }  // namespace volut

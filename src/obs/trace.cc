@@ -23,10 +23,12 @@ TraceCollector& TraceCollector::global() {
 }
 
 void TraceCollector::start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   events_.clear();
   dropped_ = 0;
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_ticks_.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_release);
   enabled_.store(1, std::memory_order_release);
 }
 
@@ -35,20 +37,22 @@ void TraceCollector::stop() {
 }
 
 std::size_t TraceCollector::event_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return events_.size();
 }
 
 std::int64_t TraceCollector::now_us() const {
+  const std::chrono::steady_clock::duration anchor(
+      epoch_ticks_.load(std::memory_order_acquire));
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - epoch_)
+             std::chrono::steady_clock::now().time_since_epoch() - anchor)
       .count();
 }
 
 void TraceCollector::record(const char* name, std::int64_t ts_us,
                             std::int64_t dur_us) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (events_.size() >= kMaxEvents) {
     ++dropped_;
     return;
@@ -57,7 +61,7 @@ void TraceCollector::record(const char* name, std::int64_t ts_us,
 }
 
 std::string TraceCollector::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n";
   out += "  \"traceEvents\": [";
   bool first = true;

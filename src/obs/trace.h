@@ -26,13 +26,16 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/core/mutex.h"
+#include "src/core/thread_annotations.h"
 #include "src/platform/timer.h"
 
 namespace volut {
+
+struct TsaProbe;
 
 class TraceCollector {
  public:
@@ -66,6 +69,9 @@ class TraceCollector {
  private:
   TraceCollector() = default;
 
+  /// Compile-fail probe access (tests/static/thread_safety_probe.cc).
+  friend struct TsaProbe;
+
   struct Event {
     const char* name;
     std::int64_t ts_us;
@@ -78,10 +84,16 @@ class TraceCollector {
   static constexpr std::size_t kMaxEvents = 1u << 20;
 
   std::atomic<int> enabled_{0};
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  std::uint64_t dropped_ = 0;
-  std::chrono::steady_clock::time_point epoch_{};
+  mutable Mutex mu_;
+  std::vector<Event> events_ VOLUT_GUARDED_BY(mu_);
+  std::uint64_t dropped_ VOLUT_GUARDED_BY(mu_) = 0;
+  /// Collection epoch as a steady_clock tick count. Atomic, not guarded:
+  /// now_us() runs on every span-opening thread while start() may re-anchor
+  /// from another — the epoch used to be a bare time_point, which made that
+  /// pair a data race (the one real finding the TSA annotation pass
+  /// surfaced; obs_test.TraceRestartWhileSpansActive pins the fix under
+  /// the TSan CI leg).
+  std::atomic<std::chrono::steady_clock::rep> epoch_ticks_{0};
 };
 
 /// RAII scope timer. Records into TraceCollector::global() when collection

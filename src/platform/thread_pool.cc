@@ -41,7 +41,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -50,7 +50,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -58,12 +58,12 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  MutexLock lk(mu_);
+  while (in_flight_ != 0) cv_idle_.wait(mu_);
 }
 
 void ThreadPool::finish_one(Latch& latch) {
-  std::lock_guard<std::mutex> lk(latch.mu);
+  MutexLock lk(latch.mu);
   if (--latch.pending == 0) latch.cv.notify_all();
 }
 
@@ -71,7 +71,7 @@ void ThreadPool::help_until_done(Latch& latch) {
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (!tasks_.empty()) {
         task = std::move(tasks_.front());
         tasks_.pop();
@@ -79,7 +79,7 @@ void ThreadPool::help_until_done(Latch& latch) {
     }
     if (task) {
       task();
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
       continue;
     }
@@ -87,9 +87,8 @@ void ThreadPool::help_until_done(Latch& latch) {
     // another thread. Running chunks can always finish without us (a
     // nested parallel call inside one of them helps with its own hands),
     // so an indefinite wait here cannot deadlock.
-    std::unique_lock<std::mutex> lk(latch.mu);
-    if (latch.pending == 0) return;
-    latch.cv.wait(lk, [&latch] { return latch.pending == 0; });
+    MutexLock lk(latch.mu);
+    while (latch.pending != 0) latch.cv.wait(latch.mu);
     return;
   }
 }
@@ -105,8 +104,7 @@ void ThreadPool::parallel_for(
   }
   const std::size_t chunks = std::min(workers * 4, (n + min_grain - 1) / min_grain);
   const std::size_t step = (n + chunks - 1) / chunks;
-  Latch latch;
-  latch.pending = (n + step - 1) / step;
+  Latch latch((n + step - 1) / step);
   for (std::size_t begin = 0; begin < n; begin += step) {
     const std::size_t end = std::min(begin + step, n);
     submit([this, &body, &latch, begin, end] {
@@ -127,8 +125,7 @@ void ThreadPool::parallel_chunks(
     for_each_chunk(n, chunk, body);
     return;
   }
-  Latch latch;
-  latch.pending = num_chunks;
+  Latch latch(num_chunks);
   for_each_chunk(n, chunk,
                  [this, &body, &latch](std::size_t c, std::size_t begin,
                                        std::size_t end) {
@@ -144,15 +141,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

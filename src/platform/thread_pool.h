@@ -5,20 +5,27 @@
 // same decomposition (one task per octree cell / per index range). Device
 // profiles (device_profile.h) cap the worker count to model mobile-class
 // hardware.
+//
+// Lock discipline is compiler-checked: the queue, stop flag and in-flight
+// count are VOLUT_GUARDED_BY the pool mutex (core/mutex.h vocabulary), and
+// a clang build with VOLUT_THREAD_SAFETY=ON rejects any unlocked access at
+// compile time (-Werror=thread-safety).
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "src/core/mutex.h"
+#include "src/core/thread_annotations.h"
+
 namespace volut {
 
 struct DeviceProfile;
+struct TsaProbe;
 
 /// Worker count a pool should default to on `profile`: the profile's thread
 /// cap, or every hardware thread when the profile leaves it at 0. The
@@ -42,10 +49,10 @@ class ThreadPool {
   std::size_t worker_count() const { return workers_.size(); }
 
   /// Enqueues a task; returns immediately.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) VOLUT_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() VOLUT_EXCLUDES(mu_);
 
   /// Splits [0, n) into roughly equal chunks and runs
   /// `body(begin, end)` on the pool, blocking until all chunks complete.
@@ -59,7 +66,7 @@ class ThreadPool {
   /// work, including its own chunks, instead of blocking.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body,
-                    std::size_t min_grain = 256);
+                    std::size_t min_grain = 256) VOLUT_EXCLUDES(mu_);
 
   /// Splits [0, n) into fixed-size chunks of `chunk` indices and runs
   /// `body(chunk_index, begin, end)` on the pool, blocking until all chunks
@@ -70,31 +77,40 @@ class ThreadPool {
   /// discipline as parallel_for.
   void parallel_chunks(
       std::size_t n, std::size_t chunk,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body)
+      VOLUT_EXCLUDES(mu_);
 
  private:
+  /// Compile-fail probes (tests/static/thread_safety_probe.cc) reach the
+  /// guarded members to prove each VOLUT_GUARDED_BY below is load-bearing:
+  /// an unlocked access must fail to compile under -Werror=thread-safety.
+  friend struct TsaProbe;
+
   /// Per-parallel-call completion tracker (see parallel_for docs).
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t pending = 0;
+    /// Member-init runs before the latch is shared, so the count needs no
+    /// lock at construction; every later touch is under `mu`.
+    explicit Latch(std::size_t n) : pending(n) {}
+    Mutex mu;
+    CondVar cv;
+    std::size_t pending VOLUT_GUARDED_BY(mu);
   };
 
-  void finish_one(Latch& latch);
+  void finish_one(Latch& latch) VOLUT_EXCLUDES(latch.mu);
   /// Runs queued tasks until `latch.pending` reaches zero; sleeps only when
   /// the queue is empty (every remaining chunk is already executing on some
   /// other thread, each able to finish without us).
-  void help_until_done(Latch& latch);
+  void help_until_done(Latch& latch) VOLUT_EXCLUDES(mu_, latch.mu);
 
-  void worker_loop();
+  void worker_loop() VOLUT_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::queue<std::function<void()>> tasks_ VOLUT_GUARDED_BY(mu_);
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ VOLUT_GUARDED_BY(mu_) = 0;
+  bool stop_ VOLUT_GUARDED_BY(mu_) = false;
 };
 
 /// parallel_for through `pool`, or inline `body(0, n)` when `pool` is null.

@@ -117,6 +117,9 @@ class EncodeCache {
  private:
   using LruList = std::list<std::pair<EncodeCacheKey, std::size_t>>;
 
+  // single-threaded: run_fleet — every mutation happens on the fleet's
+  // event loop (or a single-session caller), so this state is deliberately
+  // unguarded; see core/thread_annotations.h for the convention.
   std::size_t budget_bytes_;
   std::size_t bytes_cached_ = 0;
   LruList lru_;  // front = most recently used

@@ -214,6 +214,9 @@ class EncodeQueue {
     std::int32_t replica = -1;  // starter's replica hint
   };
 
+  // single-threaded: run_fleet — requests, completions, and abandons are
+  // all issued from the fleet's event loop in timeline order, so this
+  // state is deliberately unguarded; see core/thread_annotations.h.
   std::vector<EncodeCache> shards_;
   HashRing ring_;
   std::unordered_map<EncodeCacheKey, InFlight, EncodeCacheKeyHash> in_flight_;

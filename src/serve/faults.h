@@ -159,6 +159,9 @@ class FaultSchedule {
 
   static bool in_any(const std::vector<Window>& windows, double t);
 
+  // Immutable after construction (every query is const), so instances are
+  // safe to read from any thread without a guard — unlike the
+  // `// single-threaded: run_fleet` state, which is single-loop by design.
   bool empty_ = true;
   std::uint64_t seed_ = 0;
   double encode_failure_rate_ = 0.0;

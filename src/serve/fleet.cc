@@ -163,6 +163,10 @@ FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool) {
       n_replicas);
   EncodeQueue queue(config.shard_cache_per_replica ? n_replicas : 1,
                     config.cache_budget_bytes);
+  // single-threaded: run_fleet — the timeline below is the fleet's one
+  // event loop; everything it mutates (queue, log, waiting room, health
+  // arrays) is unguarded by design. Only the measured-SR fan-out leaves
+  // this thread, and each sample writes its own result slot.
   // Event timeline: recorded only from this (single-threaded) event loop and
   // keyed by sim time, so it shares the run's bit-identity guarantee.
   EventLog log(config.event_log_capacity);

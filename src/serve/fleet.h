@@ -227,7 +227,11 @@ struct FleetResult {
 
 /// Runs the fleet to completion. `pool` (optional) parallelizes the
 /// measured-SR samples; the timeline itself is single-threaded and
-/// deterministic. Throws std::invalid_argument if no replicas are given.
+/// deterministic — all serve-layer mutable state (encode queue, caches,
+/// waiting room, replica health) is touched only from this loop and is
+/// marked `// single-threaded: run_fleet` instead of lock-guarded (the
+/// convention in core/thread_annotations.h). Throws std::invalid_argument
+/// if no replicas are given.
 FleetResult run_fleet(const FleetConfig& config, ThreadPool* pool = nullptr);
 
 /// Convenience mix: `n` clients with `arrival_spacing_seconds` staggered

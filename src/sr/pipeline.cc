@@ -21,7 +21,7 @@ SrPipeline::SrPipeline(std::shared_ptr<const RefinementLut> lut,
 
 std::unique_ptr<SrPipeline::ScratchSlot> SrPipeline::acquire_slot() const {
   {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    MutexLock lk(slots_mu_);
     if (!free_slots_.empty()) {
       auto slot = std::move(free_slots_.back());
       free_slots_.pop_back();
@@ -32,7 +32,7 @@ std::unique_ptr<SrPipeline::ScratchSlot> SrPipeline::acquire_slot() const {
 }
 
 void SrPipeline::release_slot(std::unique_ptr<ScratchSlot> slot) const {
-  std::lock_guard<std::mutex> lk(slots_mu_);
+  MutexLock lk(slots_mu_);
   free_slots_.push_back(std::move(slot));
 }
 

@@ -12,10 +12,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/core/mutex.h"
 #include "src/core/point_cloud.h"
+#include "src/core/thread_annotations.h"
 #include "src/platform/thread_pool.h"
 #include "src/sr/interpolation.h"
 #include "src/sr/lut.h"
@@ -69,14 +70,19 @@ class SrPipeline {
     InterpolationResult ir;
   };
 
-  std::unique_ptr<ScratchSlot> acquire_slot() const;
-  void release_slot(std::unique_ptr<ScratchSlot> slot) const;
+  /// Compile-fail probe access (tests/static/thread_safety_probe.cc).
+  friend struct TsaProbe;
+
+  std::unique_ptr<ScratchSlot> acquire_slot() const VOLUT_EXCLUDES(slots_mu_);
+  void release_slot(std::unique_ptr<ScratchSlot> slot) const
+      VOLUT_EXCLUDES(slots_mu_);
 
   std::shared_ptr<const RefinementLut> lut_;
   InterpolationConfig interp_;
   ThreadPool* pool_;
-  mutable std::mutex slots_mu_;
-  mutable std::vector<std::unique_ptr<ScratchSlot>> free_slots_;
+  mutable Mutex slots_mu_;
+  mutable std::vector<std::unique_ptr<ScratchSlot>> free_slots_
+      VOLUT_GUARDED_BY(slots_mu_);
 };
 
 }  // namespace volut

@@ -182,6 +182,36 @@ TEST(TraceTest, StartClearsPreviousCollection) {
   EXPECT_EQ(collector.event_count(), 0u);
 }
 
+// Regression for the epoch data race the thread-safety annotation pass
+// surfaced: now_us() read the collection epoch unguarded while start()
+// rewrote it under the collector mutex, so a span opening concurrently with
+// a restart raced on the anchor (UB; visible to the TSan CI leg). The epoch
+// is now an atomic tick count — this test hammers exactly that interleaving
+// (pool threads opening/closing spans while the main thread re-anchors) and
+// must stay clean under -DVOLUT_SANITIZE=thread.
+TEST(TraceTest, TraceRestartWhileSpansActive) {
+  TraceCollector& collector = TraceCollector::global();
+  ThreadPool pool(4);
+  collector.start();
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(
+        16,
+        [](std::size_t, std::size_t) { TraceSpan span("obs_test/race"); },
+        /*min_grain=*/1);
+    collector.start();  // re-anchor while spans may be mid-flight
+  }
+  pool.wait_idle();
+  collector.stop();
+  // Timestamps of surviving events are measured against a coherent anchor:
+  // every span recorded after the final re-anchor has a sane microsecond
+  // offset (the race used to make these garbage, not just torn).
+  const std::string json = collector.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // No negative start timestamps: every surviving event was stamped against
+  // a coherent (not torn/stale-mixed) anchor.
+  EXPECT_EQ(json.find("\"ts\": -"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // EventLog
 // ---------------------------------------------------------------------------

@@ -2,9 +2,12 @@
 # One-shot static-analysis wrapper: reproduces the lint / clang-format /
 # clang-tidy CI legs locally.
 #
-#   tools/check.sh          # lint self-test + tree lint + format check
-#   tools/check.sh --tidy   # also run clang-tidy (needs a configured build
-#                           # with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
+#   tools/check.sh             # lint self-test + tree lint + format check
+#   tools/check.sh --layering  # only the module-DAG layering rule
+#   tools/check.sh --headers   # also build the header-hermeticity target
+#                              # (needs a configured build/ directory)
+#   tools/check.sh --tidy      # also run clang-tidy (needs a configured
+#                              # build with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
 #
 # Exits non-zero on the first failing layer. Layers whose tool is not
 # installed are skipped with a notice (the container ships without clang
@@ -13,11 +16,15 @@ set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 run_tidy=0
+run_headers=0
+layering_only=0
 for arg in "$@"; do
   case "$arg" in
     --tidy) run_tidy=1 ;;
+    --headers) run_headers=1 ;;
+    --layering) layering_only=1 ;;
     -h|--help)
-      sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -28,6 +35,18 @@ for arg in "$@"; do
 done
 
 fail=0
+
+if [ "$layering_only" -eq 1 ]; then
+  echo "== volut_lint layering =="
+  python3 "$root/tools/volut_lint/volut_lint.py" --root "$root" \
+    --only layering || fail=1
+  if [ "$fail" -ne 0 ]; then
+    echo "check.sh: FAILED" >&2
+    exit 1
+  fi
+  echo "check.sh: layering clean"
+  exit 0
+fi
 
 echo "== volut_lint self-test =="
 python3 "$root/tools/volut_lint/volut_lint.py" --self-test || fail=1
@@ -49,6 +68,16 @@ else
   echo "clang-format not installed — skipped (CI runs it)"
 fi
 
+if [ "$run_headers" -eq 1 ]; then
+  echo "== header hermeticity =="
+  if [ ! -d "$root/build" ]; then
+    echo "build/ missing — configure with: cmake -B build -S ." >&2
+    fail=1
+  else
+    cmake --build "$root/build" --target volut_header_hermeticity || fail=1
+  fi
+fi
+
 if [ "$run_tidy" -eq 1 ]; then
   echo "== clang-tidy =="
   if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -60,9 +89,10 @@ if [ "$run_tidy" -eq 1 ]; then
   else
     runner="$(command -v run-clang-tidy || true)"
     if [ -n "$runner" ]; then
-      "$runner" -p "$root/build" -quiet "src/.*\.cc$" || fail=1
+      "$runner" -p "$root/build" -quiet \
+        "src/.*\.cc$|tools/capture_fleet_golden\.cc$" || fail=1
     else
-      (cd "$root" && git ls-files 'src/*.cc' |
+      (cd "$root" && git ls-files 'src/*.cc' 'tools/capture_fleet_golden.cc' |
         xargs clang-tidy -p "$root/build" --quiet) || fail=1
     fi
   fi

@@ -1,0 +1,12 @@
+// lint-fixture: src/stream/fixture_layering.cc
+// Clean: legal down-edges only. stream sits near the top of the module DAG
+// and may include abr, codec, and core — all declared in MODULE_DEPS.
+#include "src/abr/mpc.h"
+#include "src/codec/codec.h"
+#include "src/core/vec3.h"
+
+namespace volut {
+
+inline int fixture_layering_ok() { return 0; }
+
+}  // namespace volut

@@ -1,0 +1,13 @@
+// lint-fixture: src/core/fixture_layering.cc
+// Violation: a core file reaching up into the serve layer — a textbook
+// back-edge. core is the bottom of the module DAG; everything may depend on
+// it, it may depend on nothing. The static archives would link this without
+// complaint, which is exactly why the include edge must be linted.
+#include "src/serve/fleet.h"  // expect: layering
+#include "src/core/vec3.h"
+
+namespace volut {
+
+inline int fixture_layering_touch() { return 0; }
+
+}  // namespace volut

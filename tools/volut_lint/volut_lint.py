@@ -35,6 +35,12 @@ Rules
                   0 in #if, so a missing include compiles the
                   instrumentation out of just that TU — an inconsistent
                   (ODR-hazardous) build instead of an error.
+  layering        Every `#include "src/<module>/..."` edge must follow the
+                  declared module DAG (MODULE_DEPS below — the core ->
+                  platform -> spatial/nn/net -> sr/abr/stream/obs -> serve
+                  layering every roadmap item builds on). A back-edge or an
+                  undeclared cross-module include is a finding; the table
+                  itself is validated acyclic on every run.
 
 Suppression
 -----------
@@ -479,11 +485,135 @@ def check_obs_guard(sf: SourceFile, findings: list[Finding],
 
 
 # ---------------------------------------------------------------------------
+# layering
+# ---------------------------------------------------------------------------
+
+# The declared module DAG: which src/ modules a module may include from,
+# directly. This is the architecture contract every roadmap item (GPU
+# backend seam, ABR plug-in layer, workload suite) builds on:
+#
+#     core                          (vocabulary: vec3, rng, mutex, ...)
+#      └─ platform                  (threads, timers, device profiles)
+#          └─ obs                   (metrics registry, trace spans)
+#              ├─ codec  nn         (leaf algorithms; core-only)
+#              ├─ spatial  net      (index structures / link models)
+#              │   └─ data  metrics (traces, eval rollups)
+#              └─ sr  abr           (SR pipeline / ABR policies)
+#                  └─ baselines  stream   (single-session layer)
+#                      └─ serve            (fleet event loop; top)
+#
+# Mirrors the target_link_libraries edges in CMakeLists.txt; the lint checks
+# the actual `#include "src/..."` edges so a layering leak fails fast even
+# though static archives would happily link it. Growing a new edge is a
+# design decision: add it here (and to CMake) with a reason, or carry a
+# reviewed `// lint: allow(layering)` waiver at the include site.
+MODULE_DEPS: dict[str, tuple[str, ...]] = {
+    "core": (),
+    "platform": ("core",),
+    "obs": ("core", "platform"),
+    "codec": ("core",),
+    "nn": ("core",),
+    "net": ("core", "obs"),
+    "spatial": ("core", "platform", "obs"),
+    "data": ("core", "spatial"),
+    "metrics": ("core", "platform", "spatial"),
+    "sr": ("core", "platform", "spatial", "nn", "codec", "obs"),
+    "abr": ("core", "net", "metrics"),
+    "baselines": ("core", "platform", "spatial", "nn", "sr", "data"),
+    "stream": ("core", "codec", "sr", "abr", "net", "data", "metrics",
+               "baselines"),
+    "serve": ("core", "platform", "obs", "net", "metrics", "abr", "data",
+              "sr", "stream"),
+}
+
+SRC_MODULE_INCLUDE = re.compile(r"src/([A-Za-z0-9_]+)/")
+
+
+def module_dag_cycle() -> list[str] | None:
+    """Returns a cycle through MODULE_DEPS if one exists (internal error:
+    the declared table must itself be a DAG, or 'back-edge' means nothing)."""
+    color: dict[str, int] = {m: 0 for m in MODULE_DEPS}  # 0 new 1 open 2 done
+    stack: list[str] = []
+
+    def dfs(mod: str) -> list[str] | None:
+        color[mod] = 1
+        stack.append(mod)
+        for dep in MODULE_DEPS[mod]:
+            if color.get(dep) == 1:
+                return stack[stack.index(dep):] + [dep]
+            if color.get(dep) == 0:
+                cycle = dfs(dep)
+                if cycle:
+                    return cycle
+        color[mod] = 2
+        stack.pop()
+        return None
+
+    for mod in MODULE_DEPS:
+        if color[mod] == 0:
+            cycle = dfs(mod)
+            if cycle:
+                return cycle
+    return None
+
+
+def validate_module_deps() -> None:
+    for mod, deps in MODULE_DEPS.items():
+        for dep in deps:
+            if dep not in MODULE_DEPS:
+                print(f"volut_lint: internal error: MODULE_DEPS[{mod!r}] "
+                      f"names unknown module {dep!r}", file=sys.stderr)
+                sys.exit(2)
+    cycle = module_dag_cycle()
+    if cycle:
+        print("volut_lint: internal error: MODULE_DEPS is cyclic: "
+              + " -> ".join(cycle), file=sys.stderr)
+        sys.exit(2)
+
+
+def check_layering(sf: SourceFile, findings: list[Finding]) -> None:
+    parts = sf.path.split("/")
+    if len(parts) < 3 or parts[0] != "src":
+        return  # not in a module directory
+    mod = parts[1]
+    allowed = MODULE_DEPS.get(mod)
+    if allowed is None:
+        findings.append(Finding(
+            sf.path, 1, "layering",
+            f"module 'src/{mod}' is not in the declared module DAG — add a "
+            "MODULE_DEPS entry (tools/volut_lint) stating what it may "
+            "include, and mirror it in CMakeLists.txt"))
+        return
+    for idx, raw in enumerate(sf.raw_lines, start=1):
+        m = INCLUDE.match(raw.strip())
+        if not m:
+            continue
+        im = SRC_MODULE_INCLUDE.match(m.group(1))
+        if not im:
+            continue
+        dep = im.group(1)
+        if dep == mod or dep in allowed:
+            continue
+        if sf.suppressed(idx, "layering"):
+            continue
+        arrow = "may only include"
+        if mod in MODULE_DEPS.get(dep, ()):
+            arrow = "is included BY"  # a true back-edge closes a cycle
+        findings.append(Finding(
+            sf.path, idx, "layering",
+            f"include of \"{m.group(1)}\" — 'src/{dep}' is outside "
+            f"'{mod}'s declared dependencies ({', '.join(allowed) or 'none'}"
+            f"); '{mod}' {arrow} '{dep}' in the module DAG. A new edge is a "
+            "design decision: extend MODULE_DEPS + CMake, or justify with "
+            "'// lint: allow(layering)'"))
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
 RULES = ("rand-source", "wall-clock", "unordered-iter", "nondet-flags",
-         "obs-guard")
+         "obs-guard", "layering")
 
 
 def collect_targets(root: Path, args_paths: list[str]) -> list[str]:
@@ -546,6 +676,7 @@ def lint_files(root: Path, rels: list[str]) -> list[Finding]:
         check_unordered_iter(sf, findings, extra)
         check_nondet_flags(sf, findings, is_cmake=False)
         check_obs_guard(sf, findings, defaulting)
+        check_layering(sf, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -622,7 +753,15 @@ def main() -> int:
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule against its fixture pair")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--only", action="append", choices=RULES,
+                        metavar="RULE", default=None,
+                        help="report only this rule's findings (repeatable); "
+                             "all rules still run")
     args = parser.parse_args()
+
+    # The layering table is itself contract: refuse to lint against a
+    # MODULE_DEPS that is cyclic or names unknown modules.
+    validate_module_deps()
 
     root = Path(args.root).resolve() if args.root else \
         Path(__file__).resolve().parents[2]
@@ -636,6 +775,8 @@ def main() -> int:
 
     rels = collect_targets(root, args.paths)
     findings = lint_files(root, rels)
+    if args.only:
+        findings = [f for f in findings if f.rule in args.only]
     for f in findings:
         print(f.render())
     if findings:
